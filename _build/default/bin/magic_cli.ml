@@ -1,0 +1,240 @@
+(* magic — command-line driver for the magic-sets library.
+
+   A source file contains rules, ground facts and one ?- query; the
+   subcommands adorn it, rewrite it with one of the paper's strategies,
+   analyze safety, evaluate it with any method, or compare all methods. *)
+
+open Cmdliner
+open Datalog
+module C = Magic_core
+module T = Cmdliner.Term
+
+let read_source path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  let program, query = Parser.parse_program (read_source path) in
+  let program, facts = Parser.split_facts program in
+  match query with
+  | None -> Fmt.failwith "%s: no ?- query found" path
+  | Some q -> (program, q, Engine.Database.of_facts facts)
+
+let sip_conv =
+  let parse s =
+    match C.Sip.strategy_of_string s with
+    | Some st -> Stdlib.Ok (s, st)
+    | None -> Stdlib.Error (`Msg (Fmt.str "unknown sip strategy %S" s))
+  in
+  Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Datalog source file.")
+
+let sip_arg =
+  Arg.(
+    value
+    & opt sip_conv ("full", C.Sip.full_left_to_right)
+    & info [ "sip" ] ~docv:"SIP" ~doc:"Sip strategy: full, chain, head-only or none.")
+
+let max_facts_arg =
+  Arg.(
+    value
+    & opt int 5_000_000
+    & info [ "max-facts" ] ~docv:"N" ~doc:"Fact budget before reporting divergence.")
+
+(* ------------------------------------------------------------------ *)
+
+let adorn_cmd =
+  let run file (_, sip) =
+    let program, query, _ = load file in
+    let ad = C.Adorn.adorn ~strategy:sip program query in
+    Fmt.pr "%a@." C.Adorn.pp ad;
+    List.iter
+      (fun (ar : C.Adorn.adorned_rule) ->
+        Fmt.pr "%% sip for %s_%s rule %d: %a@." ar.C.Adorn.head_pred
+          (C.Adornment.to_string ar.C.Adorn.head_adornment)
+          ar.C.Adorn.source_index
+          (C.Sip.pp ~rule:ar.C.Adorn.rule)
+          ar.C.Adorn.sip)
+      ad.C.Adorn.rules
+  in
+  Cmd.v
+    (Cmd.info "adorn" ~doc:"Print the adorned rule set and the sips used (Section 3).")
+    (T.app (T.app (T.const run) file_arg) sip_arg)
+
+let strategy_arg =
+  let rewriting_conv =
+    let parse s =
+      match C.Rewrite.rewriting_of_string s with
+      | Some r -> Stdlib.Ok r
+      | None -> Stdlib.Error (`Msg (Fmt.str "unknown strategy %S" s))
+    in
+    Arg.conv (parse, fun ppf r -> Fmt.string ppf (C.Rewrite.rewriting_to_string r))
+  in
+  Arg.(
+    value & opt rewriting_conv C.Rewrite.GMS
+    & info [ "strategy"; "s" ] ~docv:"S" ~doc:"Rewriting: gms, gsms, gc or gsc.")
+
+let semijoin_arg =
+  Arg.(value & flag & info [ "semijoin" ] ~doc:"Apply the Section 8 semijoin optimization.")
+
+let no_simplify_arg =
+  Arg.(value & flag & info [ "no-simplify" ] ~doc:"Emit the unsimplified construction.")
+
+let path_encoding_arg =
+  Arg.(
+    value & flag
+    & info [ "path-indices" ]
+        ~doc:"Use structured-term counting indices (Section 11) instead of numeric ones.")
+
+let rewrite_cmd =
+  let run file (_, sip) strategy semijoin no_simplify path_encoding =
+    let program, query, _ = load file in
+    let options =
+      {
+        C.Rewrite.sip;
+        simplify = not no_simplify;
+        semijoin;
+        encoding = (if path_encoding then C.Indexing.Path else C.Indexing.Numeric);
+      }
+    in
+    let rw = C.Rewrite.rewrite ~options strategy program query in
+    Fmt.pr "%a@." C.Rewritten.pp rw
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Rewrite the program for its query (Sections 4-8) and print the result.")
+    (T.app
+       (T.app
+          (T.app
+             (T.app (T.app (T.app (T.const run) file_arg) sip_arg)
+                strategy_arg)
+             semijoin_arg)
+          no_simplify_arg)
+       path_encoding_arg)
+
+let safety_cmd =
+  let run file (_, sip) =
+    let program, query, _ = load file in
+    let ad = C.Adorn.adorn ~strategy:sip program query in
+    let report = C.Safety.analyze ad in
+    Fmt.pr "%a@." C.Safety.pp_report report;
+    List.iter
+      (fun (arc : C.Safety.binding_arc) ->
+        Fmt.pr "binding arc %s_%s -> %s_%s [rule %d, literal %d]: length %a@."
+          (fst arc.C.Safety.src)
+          (C.Adornment.to_string (snd arc.C.Safety.src))
+          (fst arc.C.Safety.dst)
+          (C.Adornment.to_string (snd arc.C.Safety.dst))
+          arc.C.Safety.rule_index arc.C.Safety.body_position C.Safety.Len.pp
+          arc.C.Safety.length)
+      (C.Safety.binding_graph ad)
+  in
+  Cmd.v
+    (Cmd.info "safety" ~doc:"Binding-graph safety analysis (Section 10).")
+    (T.app (T.app (T.const run) file_arg) sip_arg)
+
+let method_conv =
+  let parse s =
+    match List.assoc_opt s C.Rewrite.methods with
+    | Some m -> Stdlib.Ok (s, m)
+    | None ->
+      Stdlib.Error
+        (`Msg
+           (Fmt.str "unknown method %S (expected one of %s)" s
+              (String.concat ", " (List.map fst C.Rewrite.methods))))
+  in
+  Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
+
+let eval_cmd =
+  let run file (name, method_) max_facts =
+    let program, query, edb = load file in
+    let r = C.Rewrite.run ~max_facts method_ program query ~edb in
+    List.iter (fun t -> Fmt.pr "%a@." Engine.Tuple.pp t) r.C.Rewrite.answers;
+    Fmt.pr "%% method=%s status=%s %a@." name
+      (match r.C.Rewrite.status with
+      | C.Rewrite.Ok -> "ok"
+      | C.Rewrite.Diverged -> "diverged"
+      | C.Rewrite.Unsafe m -> "unsafe: " ^ m)
+      Engine.Stats.pp r.C.Rewrite.stats
+  in
+  let method_arg =
+    Arg.(
+      value
+      & opt method_conv ("gms", List.assoc "gms" C.Rewrite.methods)
+      & info [ "method"; "m" ] ~docv:"M"
+          ~doc:"Evaluation method: naive, seminaive, sld, tabled, gms, gsms, gc, gsc, \
+                gc-sj or gsc-sj.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate the query with one method and print the answers.")
+    (T.app (T.app (T.app (T.const run) file_arg) method_arg) max_facts_arg)
+
+let explain_cmd =
+  let run file (_name, method_) fact_str =
+    let program, query, edb = load file in
+    let fact = Parser.parse_atom fact_str in
+    (* evaluate with the chosen method, then reconstruct a derivation over
+       the program that actually ran (original or rewritten + seeds) *)
+    let explain_program, db =
+      match method_ with
+      | C.Rewrite.Original _ | C.Rewrite.Top_down _ ->
+        let out = Engine.Eval.seminaive program ~edb in
+        (program, out.Engine.Eval.db)
+      | C.Rewrite.Rewritten_bottom_up (rewriting, options) ->
+        let rw = C.Rewrite.rewrite ~options rewriting program query in
+        let out = C.Rewritten.run rw ~edb in
+        ( Program.make
+            (Program.rules rw.C.Rewritten.program
+            @ List.map Rule.fact rw.C.Rewritten.seeds),
+          out.Engine.Eval.db )
+    in
+    match Engine.Explain.derive explain_program db fact with
+    | Some tree -> Fmt.pr "%a@." Engine.Explain.pp tree
+    | None ->
+      Fmt.epr "%a has no derivation@." Atom.pp fact;
+      exit 1
+  in
+  let method_arg =
+    Arg.(
+      value
+      & opt method_conv ("seminaive", List.assoc "seminaive" C.Rewrite.methods)
+      & info [ "method"; "m" ] ~docv:"M" ~doc:"Program to explain over.")
+  in
+  let fact_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FACT" ~doc:"Ground fact.")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Print a derivation tree for a ground fact.")
+    (T.app (T.app (T.app (T.const run) file_arg) method_arg) fact_arg)
+
+let compare_cmd =
+  let run file max_facts =
+    let program, query, edb = load file in
+    Fmt.pr "%-10s %-9s %8s %10s %10s %10s %8s@." "method" "status" "answers" "facts"
+      "firings" "probes" "iters";
+    List.iter
+      (fun (name, method_) ->
+        let r = C.Rewrite.run ~max_facts method_ program query ~edb in
+        Fmt.pr "%-10s %-9s %8d %10d %10d %10d %8d@." name
+          (match r.C.Rewrite.status with
+          | C.Rewrite.Ok -> "ok"
+          | C.Rewrite.Diverged -> "diverged"
+          | C.Rewrite.Unsafe _ -> "unsafe")
+          (List.length r.C.Rewrite.answers)
+          r.C.Rewrite.stats.Engine.Stats.facts r.C.Rewrite.stats.Engine.Stats.firings
+          r.C.Rewrite.stats.Engine.Stats.probes r.C.Rewrite.stats.Engine.Stats.iterations)
+      C.Rewrite.methods
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every method on the query and tabulate statistics.")
+    (T.app (T.app (T.const run) file_arg) max_facts_arg)
+
+let () =
+  let doc = "magic-sets rewriting of recursive Datalog queries (Beeri & Ramakrishnan)" in
+  let info = Cmd.info "magic" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ adorn_cmd; rewrite_cmd; safety_cmd; eval_cmd; explain_cmd; compare_cmd ]))

@@ -1,0 +1,1 @@
+examples/bill_of_materials.ml: Atom Datalog Engine Fmt List Magic_core Parser Term

@@ -1,0 +1,1 @@
+examples/list_reverse.ml: Engine Fmt Magic_core Workload

@@ -1,0 +1,1 @@
+examples/provenance.ml: Datalog Engine Fmt List Magic_core Parser Program Rule Workload

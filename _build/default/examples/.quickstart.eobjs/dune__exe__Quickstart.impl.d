@@ -1,0 +1,1 @@
+examples/quickstart.ml: Datalog Engine Fmt List Magic_core Option Parser

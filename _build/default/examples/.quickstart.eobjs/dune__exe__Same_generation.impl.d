@@ -1,0 +1,1 @@
+examples/same_generation.ml: Atom Datalog Engine Fmt List Magic_core Program Term Workload

@@ -1,0 +1,51 @@
+(* Quickstart: the paper's opening example.
+
+   Bottom-up evaluation of the ancestor program computes the whole `a`
+   relation; rewriting the program with generalized magic sets restricts
+   the computation to the ancestors of the queried person.  This example
+   walks through the full pipeline: parse, adorn, rewrite, evaluate. *)
+
+open Datalog
+module C = Magic_core
+
+let () =
+  (* 1. a program, a database and a query *)
+  let program, query =
+    Parser.parse_program
+      "anc(X, Y) :- par(X, Y).\n\
+       anc(X, Y) :- par(X, Z), anc(Z, Y).\n\
+       ?- anc(john, ?)."
+  in
+  let query = Option.get query in
+  let edb =
+    Engine.Database.of_facts
+      (List.map Parser.parse_atom
+         [
+           "par(john, mary)";
+           "par(mary, sue)";
+           "par(sue, bob)";
+           "par(alice, carol)";
+           "par(carol, dan)";
+         ])
+  in
+
+  (* 2. adorn it for the query's binding pattern (Section 3) *)
+  let adorned = C.Adorn.adorn program query in
+  Fmt.pr "--- adorned program ---@.%a@.@." C.Adorn.pp adorned;
+
+  (* 3. rewrite with generalized magic sets (Section 4) *)
+  let magic = C.Magic_sets.rewrite adorned in
+  Fmt.pr "--- magic program ---@.%a@.@." C.Rewritten.pp magic;
+
+  (* 4. evaluate bottom-up and read off the answers *)
+  let out = C.Rewritten.run magic ~edb in
+  let answers = C.Rewritten.answers magic out in
+  Fmt.pr "--- answers ---@.%a@."
+    (Fmt.list ~sep:(Fmt.any "@\n") Engine.Tuple.pp)
+    answers;
+
+  (* 5. compare against plain bottom-up evaluation of the original
+     program: it derives facts about alice's family too *)
+  let plain = Engine.Eval.seminaive program ~edb in
+  Fmt.pr "@.magic derived %d facts; plain bottom-up derived %d facts@."
+    out.Engine.Eval.stats.Engine.Stats.facts plain.Engine.Eval.stats.Engine.Stats.facts

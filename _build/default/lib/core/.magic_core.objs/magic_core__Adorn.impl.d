@@ -1,0 +1,1 @@
+lib/core/adorn.ml: Adornment Array Atom Datalog Fmt Fun Hashtbl List Naming Program Queue Rule Sip Symbol

@@ -1,0 +1,1 @@
+lib/core/adorn.mli: Adornment Atom Datalog Fmt Naming Program Rule Sip Symbol

@@ -1,0 +1,1 @@
+lib/core/adornment.ml: Atom Datalog Fmt List Stdlib String Term

@@ -1,0 +1,1 @@
+lib/core/adornment.mli: Datalog Fmt

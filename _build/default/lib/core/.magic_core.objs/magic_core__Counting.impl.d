@@ -1,0 +1,1 @@
+lib/core/counting.ml: Adorn Adornment Atom Datalog Fmt Fun Indexing List Naming Option Program Rew_util Rewritten Rule Sip Term

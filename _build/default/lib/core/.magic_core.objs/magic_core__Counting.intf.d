@@ -1,0 +1,1 @@
+lib/core/counting.mli: Adorn Adornment Atom Datalog Indexing Naming Rewritten

@@ -1,0 +1,1 @@
+lib/core/indexing.ml: Adorn Datalog List Rule Term

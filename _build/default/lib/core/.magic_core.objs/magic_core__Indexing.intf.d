@@ -1,0 +1,1 @@
+lib/core/indexing.mli: Adorn Datalog Term

@@ -1,0 +1,1 @@
+lib/core/magic_sets.ml: Adorn Adornment Atom Datalog Fun List Naming Option Program Rew_util Rewritten Rule Sip Term

@@ -1,0 +1,1 @@
+lib/core/magic_sets.mli: Adorn Rewritten

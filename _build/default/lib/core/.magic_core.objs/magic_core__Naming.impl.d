@@ -1,0 +1,1 @@
+lib/core/naming.ml: Adornment Fmt Hashtbl List String

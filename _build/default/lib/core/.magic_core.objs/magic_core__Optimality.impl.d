@@ -1,0 +1,1 @@
+lib/core/optimality.ml: Adorn Adornment Array Atom Datalog Engine Fmt List Magic_sets Map Naming Option Program Rew_util Rewritten Rule Set String Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/core/rew_util.ml: Adorn Adornment Array Atom Datalog Fun List Naming Rule Sip Term

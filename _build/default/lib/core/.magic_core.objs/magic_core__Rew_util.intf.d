@@ -1,0 +1,1 @@
+lib/core/rew_util.mli: Adorn Adornment Atom Datalog Naming Sip Term

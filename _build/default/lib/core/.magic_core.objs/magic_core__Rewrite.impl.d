@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Adorn Counting Engine Indexing Magic_sets Rewritten Semijoin Sip Sup_counting Supplementary

@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Atom Datalog Engine Indexing Program Rewritten Sip

@@ -1,0 +1,1 @@
+lib/core/rewritten.ml: Adorn Array Atom Datalog Engine Fmt Int List Naming Option Program Sip Subst Term

@@ -1,0 +1,1 @@
+lib/core/rewritten.mli: Adorn Atom Datalog Engine Fmt Naming Program Sip

@@ -1,0 +1,1 @@
+lib/core/safety.ml: Adorn Adornment Array Atom Datalog Fmt Hashtbl List Option Program Rew_util Rule Term

@@ -1,0 +1,1 @@
+lib/core/safety.mli: Adorn Adornment Datalog Fmt Term

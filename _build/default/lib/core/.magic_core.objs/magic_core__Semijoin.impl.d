@@ -1,0 +1,1 @@
+lib/core/semijoin.ml: Adorn Adornment Array Atom Datalog Fmt Int List Naming Option Program Rewritten Rule Set Sip String Symbol Term

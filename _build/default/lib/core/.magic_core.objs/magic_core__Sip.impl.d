@@ -1,0 +1,1 @@
+lib/core/sip.ml: Adornment Array Atom Datalog Fmt Fun Hashtbl Int List Option Rule Symbol Term

@@ -1,0 +1,1 @@
+lib/core/sip.mli: Adornment Datalog Fmt Rule Symbol

@@ -1,0 +1,1 @@
+lib/core/sup_counting.ml: Adorn Adornment Atom Counting Datalog Fun Indexing List Naming Option Program Rew_util Rewritten Rule Sip Term

@@ -1,0 +1,1 @@
+lib/core/sup_counting.mli: Adorn Indexing Rewritten

@@ -1,0 +1,1 @@
+lib/core/supplementary.ml: Adorn Adornment Array Atom Datalog Fun List Naming Option Program Rew_util Rewritten Rule Sip Term

@@ -1,0 +1,1 @@
+lib/core/supplementary.mli: Adorn Rewritten

@@ -1,0 +1,1 @@
+lib/core/viz.ml: Adornment Array Atom Buffer Datalog Fmt List Program Rule Safety Sip String Symbol

@@ -1,0 +1,55 @@
+open Datalog
+
+type binding = Bound | Free
+
+type t = binding list
+
+let of_string s =
+  List.init (String.length s) (fun i ->
+      match s.[i] with
+      | 'b' -> Bound
+      | 'f' -> Free
+      | c -> invalid_arg (Fmt.str "Adornment.of_string: bad character %C" c))
+
+let to_string a =
+  String.init (List.length a)
+    (fun i -> match List.nth a i with Bound -> 'b' | Free -> 'f')
+
+let all_free n = List.init n (fun _ -> Free)
+let all_bound n = List.init n (fun _ -> Bound)
+let arity = List.length
+let has_bound a = List.exists (fun b -> b = Bound) a
+let bound_count a = List.length (List.filter (fun b -> b = Bound) a)
+
+let of_query atom =
+  List.map (fun t -> if Term.is_ground t then Bound else Free) atom.Atom.args
+
+let of_args ~bound_vars args =
+  List.map
+    (fun arg ->
+      let vars = Term.vars arg in
+      if List.for_all bound_vars vars then Bound else Free)
+    args
+
+let positions p a =
+  List.filteri (fun _ (_, b) -> p b) (List.mapi (fun i b -> (i, b)) a) |> List.map fst
+
+let bound_positions a = positions (fun b -> b = Bound) a
+let free_positions a = positions (fun b -> b = Free) a
+
+let select pred a xs =
+  if List.length a <> List.length xs then
+    invalid_arg "Adornment.select: length mismatch";
+  List.filter_map (fun (b, x) -> if pred b then Some x else None) (List.combine a xs)
+
+let select_bound a xs = select (fun b -> b = Bound) a xs
+let select_free a xs = select (fun b -> b = Free) a xs
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let weaker_or_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> x = Free || y = Bound) a b
+
+let pp ppf a = Fmt.string ppf (to_string a)

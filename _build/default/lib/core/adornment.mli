@@ -1,0 +1,46 @@
+(** Adornments (Section 3 of the paper).
+
+    An adornment for an n-ary predicate is a string over the alphabet
+    {b, f}: position i is [Bound] when the rule is invoked with that
+    argument instantiated to a constant, [Free] otherwise.  Following the
+    paper (and Ullman [21]), an argument is bound only if {e all} its
+    variables are bound. *)
+
+type binding = Bound | Free
+
+type t = binding list
+
+val of_string : string -> t
+(** ["bf"] -> [[Bound; Free]].  @raise Invalid_argument on other chars. *)
+
+val to_string : t -> string
+val all_free : int -> t
+val all_bound : int -> t
+val arity : t -> int
+val has_bound : t -> bool
+val bound_count : t -> int
+
+val of_query : Datalog.Atom.t -> t
+(** Positions holding ground terms are bound, per the paper's convention
+    for queries [q(c, X)?]. *)
+
+val of_args : bound_vars:(string -> bool) -> Datalog.Term.t list -> t
+(** Adorn argument positions given a set of bound variables: an argument
+    is bound iff it is ground or all its variables are bound. *)
+
+val bound_positions : t -> int list
+val free_positions : t -> int list
+
+val select_bound : t -> 'a list -> 'a list
+(** Keep list elements at bound positions ([xb] in the paper). *)
+
+val select_free : t -> 'a list -> 'a list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val weaker_or_equal : t -> t -> bool
+(** [weaker_or_equal a b] is true when every position bound in [a] is also
+    bound in [b] (so [a] passes at most the information of [b]). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,22 @@
+(** Generalized Magic Sets (Section 4 of the paper).
+
+    For each adorned rule and each sip arc [N -> q_i] entering a derived
+    body occurrence with at least one bound argument, a {e magic rule} is
+    generated that computes the bindings passed along the arc into the new
+    predicate [magic_q^a] (whose arguments are the bound arguments of
+    [q^a]).  Each adorned rule is guarded by the magic predicate of its
+    head, and the query contributes a seed fact.  Theorem 4.1: the
+    rewritten program is equivalent to the adorned program for the query.
+
+    When several arcs enter one occurrence, per-arc [label] predicates are
+    generated and joined, as described in the paper.
+
+    With [simplify] (the default), magic literals that are redundant by
+    Proposition 4.2 are not emitted: a magic literal for a predicate
+    occurrence [q] is dropped when the rule body already contains a magic
+    literal for an occurrence [p] with [p => q] in the sip's precedence
+    order — this reproduces the simplified rule sets printed in the
+    paper's examples.  With [simplify:false] the full construction of
+    Section 4 is emitted. *)
+
+val rewrite : ?simplify:bool -> Adorn.t -> Rewritten.t

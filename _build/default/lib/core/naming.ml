@@ -1,0 +1,60 @@
+type role =
+  | Adorned of string * Adornment.t
+  | Magic of string * Adornment.t
+  | Label of string * Adornment.t * int
+  | Supp of { rule_index : int; position : int; head : string; adornment : Adornment.t }
+  | Indexed of string * Adornment.t
+  | Cnt of string * Adornment.t
+  | Supcnt of { rule_index : int; position : int; head : string; adornment : Adornment.t }
+
+type t = {
+  by_name : (string, role) Hashtbl.t;
+  by_role : (role, string) Hashtbl.t;
+  mutable used : string list;
+}
+
+let create ~reserved =
+  { by_name = Hashtbl.create 32; by_role = Hashtbl.create 32; used = reserved }
+
+let intern t role candidate =
+  match Hashtbl.find_opt t.by_role role with
+  | Some name -> name
+  | None ->
+    let rec fresh name = if List.mem name t.used then fresh (name ^ "'") else name in
+    let name = fresh candidate in
+    Hashtbl.replace t.by_name name role;
+    Hashtbl.replace t.by_role role name;
+    t.used <- name :: t.used;
+    name
+
+let adorned t pred a =
+  if not (Adornment.has_bound a) then pred
+  else intern t (Adorned (pred, a)) (Fmt.str "%s_%s" pred (Adornment.to_string a))
+
+let magic t pred a =
+  intern t (Magic (pred, a)) (Fmt.str "magic_%s_%s" pred (Adornment.to_string a))
+
+let label t pred a j =
+  intern t (Label (pred, a, j)) (Fmt.str "label_%s_%s_%d" pred (Adornment.to_string a) j)
+
+let supp t ~rule_index ~position ~head ~adornment =
+  intern t
+    (Supp { rule_index; position; head; adornment })
+    (Fmt.str "sup_%d_%d" rule_index position)
+
+let indexed t pred a =
+  intern t (Indexed (pred, a)) (Fmt.str "%s_ind_%s" pred (Adornment.to_string a))
+
+let cnt t pred a =
+  intern t (Cnt (pred, a)) (Fmt.str "cnt_%s_%s" pred (Adornment.to_string a))
+
+let supcnt t ~rule_index ~position ~head ~adornment =
+  intern t
+    (Supcnt { rule_index; position; head; adornment })
+    (Fmt.str "supcnt_%d_%d" rule_index position)
+
+let role t name = Hashtbl.find_opt t.by_name name
+
+let names t =
+  Hashtbl.fold (fun name role acc -> (name, role) :: acc) t.by_name []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,49 @@
+(** Registry of generated predicate names.
+
+    The rewritten programs are ordinary {!Datalog.Program.t}s whose
+    predicate names follow the paper's conventions ([anc_bf],
+    [magic_anc_bf], [sup_2_1], [cnt_anc_bf], ...).  A [Naming.t] records
+    the structured role behind each generated name so downstream analyses
+    (safety, semijoin, optimality) never have to parse names, and so that
+    name clashes with user predicates are avoided deterministically. *)
+
+type role =
+  | Adorned of string * Adornment.t
+      (** adorned version [p^a] of original predicate [p] *)
+  | Magic of string * Adornment.t
+      (** [magic_p^a]: arguments are the bound arguments of [p^a] *)
+  | Label of string * Adornment.t * int
+      (** [label_q^a_j]: per-arc label predicate when several sip arcs
+          enter one occurrence (Section 4) *)
+  | Supp of { rule_index : int; position : int; head : string; adornment : Adornment.t }
+      (** supplementary magic predicate [sup_r_i] (Section 5) *)
+  | Indexed of string * Adornment.t
+      (** [p_ind^a]: adorned predicate extended with 3 index arguments
+          (Section 6) *)
+  | Cnt of string * Adornment.t  (** counting predicate [cnt_p^a] *)
+  | Supcnt of { rule_index : int; position : int; head : string; adornment : Adornment.t }
+      (** supplementary counting predicate (Section 7) *)
+
+type t
+
+val create : reserved:string list -> t
+(** [reserved] is the set of predicate names already used by the source
+    program; generated names avoid them (and each other) by appending
+    primes. *)
+
+val adorned : t -> string -> Adornment.t -> string
+(** [p], ["bf"] -> ["p_bf"]; an all-free adornment returns [p] unchanged
+    and registers nothing, matching the paper's convention. *)
+
+val magic : t -> string -> Adornment.t -> string
+val label : t -> string -> Adornment.t -> int -> string
+val supp : t -> rule_index:int -> position:int -> head:string -> adornment:Adornment.t -> string
+val indexed : t -> string -> Adornment.t -> string
+val cnt : t -> string -> Adornment.t -> string
+val supcnt : t -> rule_index:int -> position:int -> head:string -> adornment:Adornment.t -> string
+
+val role : t -> string -> role option
+(** The role of a generated name; [None] for source-program names. *)
+
+val names : t -> (string * role) list
+(** All registered names, sorted. *)

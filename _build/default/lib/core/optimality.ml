@@ -1,0 +1,228 @@
+open Datalog
+
+type reference = {
+  queries : (string * Adornment.t * Engine.Tuple.t) list;
+  facts : (string * Adornment.t * Engine.Tuple.t) list;
+}
+
+module QueryKey = struct
+  type t = string * Adornment.t * Engine.Tuple.t
+
+  let compare (p, a, t) (q, b, u) =
+    let c = String.compare p q in
+    if c <> 0 then c
+    else
+      let c = Adornment.compare a b in
+      if c <> 0 then c else Engine.Tuple.compare t u
+end
+
+module QuerySet = Set.Make (QueryKey)
+
+module FactKey = struct
+  type t = string * Adornment.t
+
+  let compare (p, a) (q, b) =
+    let c = String.compare p q in
+    if c <> 0 then c else Adornment.compare a b
+end
+
+module FactMap = Map.Make (FactKey)
+
+(* Evaluate the body of one adorned rule for one query's bindings,
+   following the sip order (the adorned body is already sip-ordered).
+   Derived literals read the current fact sets and register subqueries. *)
+let eval_rule ~naming ~edb ~facts ~register (ar : Adorn.adorned_rule) subst0 =
+  let lookup_facts key =
+    Option.value ~default:Engine.Tuple.Set.empty (FactMap.find_opt key !facts)
+  in
+  let rec go i substs =
+    if i >= List.length ar.Adorn.rule.Rule.body then substs
+    else begin
+      let lit = List.nth ar.Adorn.rule.Rule.body i in
+      let substs' =
+        List.concat_map
+          (fun subst ->
+            match Rew_util.classify ~naming ar i with
+            | Rew_util.Builtin a ->
+              let results = ref [] in
+              Engine.Solve.eval_builtin a subst (fun s -> results := s :: !results);
+              List.rev !results
+            | Rew_util.Base a ->
+              Engine.Solve.match_against (fun sym -> Engine.Database.find edb sym)
+                (Atom.apply_eval subst a) subst
+            | Rew_util.Negated a -> begin
+              let inst = Atom.apply_eval subst a in
+              if not (Atom.is_ground inst) then
+                invalid_arg "Optimality: negated literal not ground under the sip order"
+              else begin
+                match lit with
+                | Rule.Neg _ ->
+                  if Engine.Database.mem edb inst then [] else [ subst ]
+                | Rule.Pos _ -> assert false
+              end
+            end
+            | Rew_util.Derived { orig_pred; adornment; atom } ->
+              let inst = Atom.apply_eval subst atom in
+              let bound = Rew_util.bound_args adornment inst in
+              if not (List.for_all Term.is_ground bound) then
+                invalid_arg
+                  (Fmt.str
+                     "Optimality: bound arguments of %a not ground — the sip does \
+                      not bind what its adornment promises"
+                     Atom.pp atom);
+              if Adornment.has_bound adornment then
+                register (orig_pred, adornment, Array.of_list bound);
+              let answers = lookup_facts (orig_pred, adornment) in
+              Engine.Tuple.Set.fold
+                (fun tuple acc ->
+                  match
+                    Subst.match_list
+                      (List.map (fun t -> Term.eval (Subst.apply subst t)) atom.Atom.args)
+                      (Engine.Tuple.to_list tuple) subst
+                  with
+                  | Some s -> s :: acc
+                  | None -> acc)
+                answers [])
+          substs
+      in
+      go (i + 1) substs'
+    end
+  in
+  go 0 [ subst0 ]
+
+let reference (adorned : Adorn.t) ~edb =
+  if Program.has_function_symbols adorned.Adorn.program then
+    invalid_arg "Optimality.reference: Datalog only";
+  let naming = adorned.Adorn.naming in
+  let queries = ref QuerySet.empty in
+  let facts : Engine.Tuple.Set.t FactMap.t ref = ref FactMap.empty in
+  let changed = ref true in
+  let register q =
+    if not (QuerySet.mem q !queries) then begin
+      queries := QuerySet.add q !queries;
+      changed := true
+    end
+  in
+  let add_fact key tuple =
+    let existing =
+      Option.value ~default:Engine.Tuple.Set.empty (FactMap.find_opt key !facts)
+    in
+    if not (Engine.Tuple.Set.mem tuple existing) then begin
+      facts := FactMap.add key (Engine.Tuple.Set.add tuple existing) !facts;
+      changed := true
+    end
+  in
+  (* seed: the query itself *)
+  let qpred, qa = adorned.Adorn.query_pred in
+  let qbound = Adornment.select_bound qa adorned.Adorn.query.Atom.args in
+  if Adornment.has_bound qa then register (qpred, qa, Array.of_list qbound);
+  (* all-free adorned predicates have no magic restriction: they are
+     computed in full, so treat each as an implicit query *)
+  List.iter
+    (fun (ar : Adorn.adorned_rule) ->
+      if not (Adornment.has_bound ar.Adorn.head_adornment) then
+        register (ar.Adorn.head_pred, ar.Adorn.head_adornment, [||]))
+    adorned.Adorn.rules;
+  while !changed do
+    changed := false;
+    QuerySet.iter
+      (fun (pred, a, bound) ->
+        List.iter
+          (fun (ar : Adorn.adorned_rule) ->
+            if
+              String.equal ar.Adorn.head_pred pred
+              && Adornment.equal ar.Adorn.head_adornment a
+            then begin
+              (* bind the head's bound arguments to the query constants *)
+              let head_bound =
+                Adornment.select_bound a ar.Adorn.rule.Rule.head.Atom.args
+              in
+              match
+                Subst.match_list head_bound (Engine.Tuple.to_list bound) Subst.empty
+              with
+              | None -> ()
+              | Some subst ->
+                let solutions =
+                  eval_rule ~naming ~edb ~facts ~register ar subst
+                in
+                List.iter
+                  (fun s ->
+                    let head = Atom.apply_eval s ar.Adorn.rule.Rule.head in
+                    if Atom.is_ground head then
+                      add_fact (pred, a) (Array.of_list head.Atom.args))
+                  solutions
+            end)
+          adorned.Adorn.rules)
+      !queries
+  done;
+  {
+    queries = QuerySet.elements !queries;
+    facts =
+      FactMap.fold
+        (fun (p, a) set acc ->
+          Engine.Tuple.Set.fold (fun t acc -> (p, a, t) :: acc) set acc)
+        !facts []
+      |> List.sort QueryKey.compare;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 9.1 checker                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_gms (adorned : Adorn.t) ~edb =
+  let naming = adorned.Adorn.naming in
+  let r = reference adorned ~edb in
+  let mg = Magic_sets.rewrite adorned in
+  let out = Rewritten.run mg ~edb in
+  let db = out.Engine.Eval.db in
+  (* magic relations vs Q *)
+  let expected_queries =
+    List.filter (fun (_, a, _) -> Adornment.has_bound a) r.queries
+  in
+  let actual_queries =
+    List.concat_map
+      (fun (name, role) ->
+        match role with
+        | Naming.Magic (p, a) ->
+          let rel =
+            Engine.Database.find db (Symbol.make name (Adornment.bound_count a))
+          in
+          let tuples =
+            match rel with None -> [] | Some rel -> Engine.Relation.to_list rel
+          in
+          List.map (fun t -> (p, a, t)) tuples
+        | _ -> [])
+      (Naming.names naming)
+    |> List.sort QueryKey.compare
+  in
+  if expected_queries <> actual_queries then
+    Error
+      (Fmt.str "magic facts differ from the sip strategy's queries: %d vs %d"
+         (List.length actual_queries)
+         (List.length expected_queries))
+  else begin
+    (* adorned relations vs F *)
+    let adorned_preds =
+      List.sort_uniq FactKey.compare
+        (List.map
+           (fun (ar : Adorn.adorned_rule) ->
+             (ar.Adorn.head_pred, ar.Adorn.head_adornment))
+           adorned.Adorn.rules)
+    in
+    let actual_facts =
+      List.concat_map
+        (fun (p, a) ->
+          let name = Naming.adorned naming p a in
+          let arity = Adornment.arity a in
+          match Engine.Database.find db (Symbol.make name arity) with
+          | None -> []
+          | Some rel -> List.map (fun t -> (p, a, t)) (Engine.Relation.to_list rel))
+        adorned_preds
+      |> List.sort QueryKey.compare
+    in
+    if r.facts <> actual_facts then
+      Error
+        (Fmt.str "derived facts differ from the sip strategy's facts: %d vs %d"
+           (List.length actual_facts) (List.length r.facts))
+    else Ok ()
+  end

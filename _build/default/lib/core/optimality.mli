@@ -1,0 +1,40 @@
+(** Sip optimality (Section 9 of the paper).
+
+    A {e sip strategy} computes, for a query and a program with one sip
+    per adorned rule, exactly (1) the answers of every subquery it
+    generates and (2) the subqueries obtained by passing bindings along
+    the sips.  [reference] computes these two sets — the paper's [Q]
+    (queries) and [F] (facts) — by a direct memoizing evaluation that
+    follows the sips.
+
+    Theorem 9.1 states that bottom-up evaluation of the generalized
+    magic-sets rewriting is {e sip-optimal}: it generates only those facts
+    and queries.  [check_gms] verifies this empirically: the magic
+    relations must coincide with [Q] (projected to bound arguments) and
+    the adorned relations with [F].
+
+    Lemma 9.3 (fuller sips compute fewer facts) is exercised by the test
+    suite and the bench harness by comparing [reference] (or the magic
+    rewriting) under {!Sip.full_left_to_right} vs a partial strategy.
+
+    Restricted to Datalog, like the paper's Section 9. *)
+
+
+
+type reference = {
+  queries : (string * Adornment.t * Engine.Tuple.t) list;
+      (** [Q]: subqueries as (original predicate, adornment, bound-argument
+          tuple), sorted *)
+  facts : (string * Adornment.t * Engine.Tuple.t) list;
+      (** [F]: derived facts as (original predicate, adornment, full
+          tuple), sorted *)
+}
+
+val reference : Adorn.t -> edb:Engine.Database.t -> reference
+(** Evaluate the sip strategy directly (memoized, to fixpoint).
+    @raise Invalid_argument on non-Datalog programs. *)
+
+val check_gms : Adorn.t -> edb:Engine.Database.t -> (unit, string) result
+(** Run the GMS rewriting bottom-up and compare its magic and adorned
+    relations against {!reference}; [Error] describes the first
+    discrepancy. *)

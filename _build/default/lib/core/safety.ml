@@ -1,0 +1,229 @@
+open Datalog
+
+module Len = struct
+  type t = { base : int; coeffs : (string * int) list }
+
+  let add_coeff coeffs v k =
+    let existing = Option.value ~default:0 (List.assoc_opt v coeffs) in
+    let coeffs = List.remove_assoc v coeffs in
+    if existing + k = 0 then coeffs else (v, existing + k) :: coeffs
+
+  let rec of_term = function
+    | Term.Var v -> { base = 0; coeffs = [ (v, 1) ] }
+    | Term.Int _ | Term.Sym _ -> { base = 1; coeffs = [] }
+    | Term.App (_, ts) ->
+      List.fold_left
+        (fun acc t -> combine acc (of_term t))
+        { base = 1; coeffs = [] }
+        ts
+    | Term.Add (a, b) | Term.Mul (a, b) | Term.Div (a, b) ->
+      (* arithmetic index terms count like a binary constructor *)
+      combine (combine { base = 1; coeffs = [] } (of_term a)) (of_term b)
+
+  and combine a b =
+    {
+      base = a.base + b.base;
+      coeffs = List.fold_left (fun cs (v, k) -> add_coeff cs v k) a.coeffs b.coeffs;
+    }
+
+  let of_terms ts =
+    List.fold_left (fun acc t -> combine acc (of_term t)) { base = 0; coeffs = [] } ts
+
+  let sub a b =
+    {
+      base = a.base - b.base;
+      coeffs = List.fold_left (fun cs (v, k) -> add_coeff cs v (-k)) a.coeffs b.coeffs;
+    }
+
+  let minimum t =
+    if List.exists (fun (_, k) -> k < 0) t.coeffs then None
+    else Some (t.base + List.fold_left (fun acc (_, k) -> acc + k) 0 t.coeffs)
+
+  let pp ppf t =
+    let pp_coeff ppf (v, k) =
+      if k = 1 then Fmt.pf ppf "|%s|" v else Fmt.pf ppf "%d|%s|" k v
+    in
+    match t.coeffs with
+    | [] -> Fmt.int ppf t.base
+    | cs -> Fmt.pf ppf "%d + %a" t.base (Fmt.list ~sep:(Fmt.any " + ") pp_coeff) cs
+end
+
+type binding_arc = {
+  src : string * Adornment.t;
+  dst : string * Adornment.t;
+  rule_index : int;
+  body_position : int;
+  length : Len.t;
+}
+
+let binding_graph (adorned : Adorn.t) =
+  let naming = adorned.Adorn.naming in
+  List.concat
+    (List.mapi
+       (fun rule_index (ar : Adorn.adorned_rule) ->
+         let head_bound = Rew_util.head_bound_args ar in
+         let head_len = Len.of_terms head_bound in
+         List.filter_map
+           (fun (i, _) ->
+             match Rew_util.classify ~naming ar i with
+             | Rew_util.Derived { orig_pred; adornment; atom } ->
+               let body_len = Len.of_terms (Rew_util.bound_args adornment atom) in
+               Some
+                 {
+                   src = (ar.Adorn.head_pred, ar.Adorn.head_adornment);
+                   dst = (orig_pred, adornment);
+                   rule_index;
+                   body_position = i;
+                   length = Len.sub head_len body_len;
+                 }
+             | Rew_util.Base _ | Rew_util.Builtin _ | Rew_util.Negated _ -> None)
+           (List.mapi (fun i l -> (i, l)) ar.Adorn.rule.Rule.body))
+       adorned.Adorn.rules)
+
+(* Every cycle positive?  Arcs of weight -infinity fail immediately when
+   they can lie on a cycle; otherwise scale weights by (n+1) and subtract
+   1, so that a standard Bellman-Ford negative-cycle detection finds
+   exactly the cycles of total weight <= 0. *)
+let all_binding_cycles_positive (adorned : Adorn.t) =
+  let arcs = binding_graph adorned in
+  let nodes =
+    List.sort_uniq compare (List.concat_map (fun a -> [ a.src; a.dst ]) arcs)
+  in
+  let n = List.length nodes in
+  if n = 0 then true
+  else begin
+    let index node =
+      let rec go i = function
+        | [] -> assert false
+        | x :: rest -> if x = node then i else go (i + 1) rest
+      in
+      go 0 nodes
+    in
+    (* does an arc lie on a cycle?  src reachable from dst *)
+    let succs = Array.make n [] in
+    List.iter
+      (fun a -> succs.(index a.src) <- index a.dst :: succs.(index a.src))
+      arcs;
+    let reaches from target =
+      let visited = Array.make n false in
+      let rec go i =
+        i = target
+        || (not visited.(i))
+           && begin
+                visited.(i) <- true;
+                List.exists go succs.(i)
+              end
+      in
+      go from
+    in
+    let unbounded_on_cycle =
+      List.exists
+        (fun a -> Len.minimum a.length = None && reaches (index a.dst) (index a.src))
+        arcs
+    in
+    if unbounded_on_cycle then false
+    else begin
+      let edges =
+        List.filter_map
+          (fun a ->
+            match Len.minimum a.length with
+            | None -> None (* not on a cycle, irrelevant *)
+            | Some w -> Some (index a.src, index a.dst, ((n + 1) * w) - 1))
+          arcs
+      in
+      (* Bellman-Ford from a virtual source connected to every node *)
+      let dist = Array.make n 0 in
+      let relax () =
+        List.fold_left
+          (fun changed (u, v, w) ->
+            if dist.(u) + w < dist.(v) then begin
+              dist.(v) <- dist.(u) + w;
+              true
+            end
+            else changed)
+          false edges
+      in
+      let rec iterate k = if k = 0 then false else if relax () then iterate (k - 1) else false in
+      ignore (iterate n);
+      not (relax ())
+    end
+  end
+
+let argument_graph (adorned : Adorn.t) =
+  let naming = adorned.Adorn.naming in
+  (* nodes: (pred, adornment, bound position); arcs via shared variables *)
+  let arcs = ref [] in
+  List.iter
+    (fun (ar : Adorn.adorned_rule) ->
+      let head_args = ar.Adorn.rule.Rule.head.Atom.args in
+      let head_bound_positions = Adornment.bound_positions ar.Adorn.head_adornment in
+      List.iteri
+        (fun i _ ->
+          match Rew_util.classify ~naming ar i with
+          | Rew_util.Derived { orig_pred; adornment; atom } ->
+            List.iter
+              (fun m ->
+                let head_vars = Term.vars (List.nth head_args m) in
+                List.iter
+                  (fun n ->
+                    let body_vars = Term.vars (List.nth atom.Atom.args n) in
+                    if List.exists (fun v -> List.mem v body_vars) head_vars then
+                      arcs :=
+                        ( (ar.Adorn.head_pred, ar.Adorn.head_adornment, m),
+                          (orig_pred, adornment, n) )
+                        :: !arcs)
+                  (Adornment.bound_positions adornment))
+              head_bound_positions
+          | Rew_util.Base _ | Rew_util.Builtin _ | Rew_util.Negated _ -> ())
+        ar.Adorn.rule.Rule.body)
+    adorned.Adorn.rules;
+  List.rev !arcs
+
+let argument_graph_cyclic (adorned : Adorn.t) =
+  let arcs = argument_graph adorned in
+  let qpred, qa = adorned.Adorn.query_pred in
+  let roots = List.map (fun m -> (qpred, qa, m)) (Adornment.bound_positions qa) in
+  (* DFS cycle detection restricted to nodes reachable from the roots *)
+  let succs node = List.filter_map (fun (s, d) -> if s = node then Some d else None) arcs in
+  let visiting = Hashtbl.create 16 in
+  let done_ = Hashtbl.create 16 in
+  let rec cyclic node =
+    if Hashtbl.mem visiting node then true
+    else if Hashtbl.mem done_ node then false
+    else begin
+      Hashtbl.replace visiting node ();
+      let c = List.exists cyclic (succs node) in
+      Hashtbl.remove visiting node;
+      Hashtbl.replace done_ node ();
+      c
+    end
+  in
+  List.exists cyclic roots
+
+type report = {
+  is_datalog : bool;
+  positive_binding_cycles : bool;
+  magic_safe : bool;
+  counting_statically_diverges : bool;
+  counting_safe : bool;
+}
+
+let analyze (adorned : Adorn.t) =
+  let is_datalog = not (Program.has_function_symbols adorned.Adorn.program) in
+  let positive = all_binding_cycles_positive adorned in
+  let arg_cyclic = argument_graph_cyclic adorned in
+  let counting_statically_diverges = is_datalog && arg_cyclic in
+  {
+    is_datalog;
+    positive_binding_cycles = positive;
+    magic_safe = is_datalog || positive;
+    counting_statically_diverges;
+    counting_safe = positive && not counting_statically_diverges;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "datalog=%b positive_binding_cycles=%b magic_safe=%b counting_statically_diverges=%b \
+     counting_safe=%b"
+    r.is_datalog r.positive_binding_cycles r.magic_safe r.counting_statically_diverges
+    r.counting_safe

@@ -1,0 +1,467 @@
+open Datalog
+
+module Slot = struct
+  type t = string * int
+
+  let compare (p, i) (q, j) =
+    let c = String.compare p q in
+    if c <> 0 then c else Int.compare i j
+end
+
+module SlotSet = Set.Make (Slot)
+
+(* ------------------------------------------------------------------ *)
+(* Role-based classification of predicates and argument positions     *)
+(* ------------------------------------------------------------------ *)
+
+type pred_info = {
+  is_counting : bool;  (* carries 3 leading index args *)
+  bound_cols : int list;  (* droppable bound columns (absolute positions) *)
+  is_indexed : bool;  (* role Indexed: an adorned predicate with indices *)
+  orig : string;  (* original predicate, for indexed preds *)
+}
+
+let pred_info naming pred =
+  match Naming.role naming pred with
+  | Some (Naming.Indexed (orig, a)) ->
+    {
+      is_counting = true;
+      bound_cols = List.map (fun p -> p + 3) (Adornment.bound_positions a);
+      is_indexed = true;
+      orig;
+    }
+  | Some (Naming.Cnt _) ->
+    { is_counting = true; bound_cols = []; is_indexed = false; orig = pred }
+  | Some (Naming.Supcnt _) ->
+    { is_counting = true; bound_cols = []; is_indexed = false; orig = pred }
+  | Some
+      (Naming.Adorned _ | Naming.Magic _ | Naming.Label _ | Naming.Supp _)
+  | None ->
+    { is_counting = false; bound_cols = []; is_indexed = false; orig = pred }
+
+let supcnt_cols naming pred arity =
+  match Naming.role naming pred with
+  | Some (Naming.Supcnt _) -> List.init (arity - 3) (fun i -> i + 3)
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Per-rule working representation                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  rule : Rule.t;
+  meta : Rewritten.rule_meta;
+  ar : Adorn.adorned_rule option;  (* source adorned rule, for its sip *)
+  (* deletion candidates: for each indexed body occurrence with a sip
+     arc, the positions of the arc's tail literals in this rule and the
+     position of the target occurrence *)
+  mutable deletions : (int * int list) list;  (* (target position, tail positions) *)
+}
+
+let adorned_rule_of (adorned : Adorn.t) (meta : Rewritten.rule_meta) =
+  let index =
+    match meta.Rewritten.kind with
+    | Rewritten.Modified i -> Some i
+    | Rewritten.Magic_def { adorned_index; _ } -> Some adorned_index
+    | Rewritten.Sup_def { adorned_index; _ } -> Some adorned_index
+    | Rewritten.Label_def { adorned_index; _ } -> Some adorned_index
+  in
+  Option.map (fun i -> List.nth adorned.Adorn.rules i) index
+
+(* body positions in [ctx] whose origin corresponds to sip node [nd] *)
+let positions_of_node (meta : Rewritten.rule_meta) nd =
+  List.filter_map
+    (fun (i, origin) ->
+      let matches =
+        match origin, nd with
+        | Rewritten.Guard, Sip.Head -> true
+        | Rewritten.Body_copy j, Sip.Body k -> j = k
+        | Rewritten.Tail_copy (Sip.Body j), Sip.Body k -> j = k
+        | Rewritten.Tail_magic (Sip.Body j), Sip.Body k -> j = k
+        | Rewritten.Sup_lit j, Sip.Head -> j >= 1
+        | Rewritten.Sup_lit j, Sip.Body k -> k <= j - 2
+        | _ -> false
+      in
+      if matches then Some i else None)
+    (List.mapi (fun i o -> (i, o)) meta.Rewritten.origins)
+
+(* source body index (in the adorned rule) of the literal at position i *)
+let source_index (meta : Rewritten.rule_meta) i =
+  match List.nth meta.Rewritten.origins i with
+  | Rewritten.Body_copy k | Rewritten.Tail_copy (Sip.Body k) -> Some k
+  | Rewritten.Guard | Rewritten.Sup_lit _ | Rewritten.Tail_copy Sip.Head
+  | Rewritten.Tail_magic _ ->
+    None
+
+let make_ctx naming (adorned : Adorn.t) rule meta =
+  let ar = adorned_rule_of adorned meta in
+  let deletions =
+    match ar with
+    | None -> []
+    | Some ar ->
+      List.filter_map
+        (fun (i, lit) ->
+          match lit with
+          | Rule.Pos atom when (pred_info naming atom.Atom.pred).is_indexed -> begin
+            match source_index meta i with
+            | None -> None
+            | Some k -> begin
+              match Sip.arcs_into ar.Adorn.sip k with
+              | [ arc ] ->
+                (* every tail node must be visible as a literal here *)
+                let tail_positions =
+                  List.map (fun nd -> positions_of_node meta nd) arc.Sip.tail
+                in
+                if List.exists (fun ps -> ps = []) tail_positions then None
+                else Some (i, List.sort_uniq Int.compare (List.concat tail_positions))
+              | _ -> None
+            end
+          end
+          | Rule.Pos _ | Rule.Neg _ -> None)
+        (List.mapi (fun i l -> (i, l)) rule.Rule.body)
+  in
+  { rule; meta; ar; deletions }
+
+(* ------------------------------------------------------------------ *)
+(* Variable-occurrence scanning                                       *)
+(* ------------------------------------------------------------------ *)
+
+type loc = Head_arg of int | Body_arg of int * int  (* literal pos, arg pos *)
+
+let occurrences rule =
+  let of_atom mk atom =
+    List.concat
+      (List.mapi (fun k arg -> List.map (fun v -> (v, mk k)) (Term.vars arg))
+         atom.Atom.args)
+  in
+  of_atom (fun k -> Head_arg k) rule.Rule.head
+  @ List.concat
+      (List.mapi
+         (fun i lit -> of_atom (fun k -> Body_arg (i, k)) (Rule.atom_of_literal lit))
+         rule.Rule.body)
+
+(* ------------------------------------------------------------------ *)
+(* The guarded fixpoint                                                *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  naming : Naming.t;
+  ctxs : ctx array;
+  mutable slots : SlotSet.t;  (* droppable columns *)
+  blocks : string list list;  (* SCCs of indexed predicates *)
+}
+
+let atom_at ctx i = Rule.atom_of_literal (List.nth ctx.rule.Rule.body i)
+
+let deleted_positions ctx =
+  List.sort_uniq Int.compare (List.concat_map snd ctx.deletions)
+
+(* Position classification relative to the current candidate sets.  A
+   position is "soft" when the value occupying it will not survive the
+   transformation: index fields, deleted literals, dropped columns. *)
+let soft state ctx loc =
+  let del = deleted_positions ctx in
+  match loc with
+  | Head_arg k ->
+    let info = pred_info state.naming ctx.rule.Rule.head.Atom.pred in
+    (info.is_counting && k < 3)
+    || SlotSet.mem (ctx.rule.Rule.head.Atom.pred, k) state.slots
+  | Body_arg (i, k) ->
+    if List.mem i del then true
+    else
+      let atom = atom_at ctx i in
+      let info = pred_info state.naming atom.Atom.pred in
+      (info.is_counting && k < 3) || SlotSet.mem (atom.Atom.pred, k) state.slots
+
+(* For deletion validation, the bound arguments of the arc's target are
+   additionally acceptable destinations (Lemma 8.1: the indices certify
+   that join). *)
+let target_bound_locs state ctx target =
+  let atom = atom_at ctx target in
+  let info = pred_info state.naming atom.Atom.pred in
+  List.map (fun c -> Body_arg (target, c)) info.bound_cols
+
+let loc_equal a b =
+  match a, b with
+  | Head_arg i, Head_arg j -> i = j
+  | Body_arg (i, k), Body_arg (j, l) -> i = j && k = l
+  | (Head_arg _ | Body_arg _), _ -> false
+
+let validate_deletions state ctx =
+  let occs = occurrences ctx.rule in
+  let keep (target, lits) =
+    let inside loc = match loc with Body_arg (i, _) -> List.mem i lits | Head_arg _ -> false in
+    let extra = target_bound_locs state ctx target in
+    let vars_of_lits =
+      List.concat_map (fun i -> Atom.vars (atom_at ctx i)) lits
+      |> List.sort_uniq String.compare
+    in
+    List.for_all
+      (fun v ->
+        List.for_all
+          (fun (w, loc) ->
+            (not (String.equal v w))
+            || inside loc
+            || soft state ctx loc
+            || List.exists (loc_equal loc) extra)
+          occs)
+      vars_of_lits
+  in
+  let kept = List.filter keep ctx.deletions in
+  let changed = List.length kept <> List.length ctx.deletions in
+  ctx.deletions <- kept;
+  changed
+
+(* A droppable column is invalidated when, at some body use site, the
+   argument is a non-variable (for supplementary columns) or has a
+   variable that also occurs at a position that will survive. *)
+let validate_slots state =
+  let violations = ref SlotSet.empty in
+  Array.iter
+    (fun ctx ->
+      let occs = occurrences ctx.rule in
+      List.iteri
+        (fun i lit ->
+          let atom = Rule.atom_of_literal lit in
+          List.iteri
+            (fun k arg ->
+              if SlotSet.mem (atom.Atom.pred, k) state.slots then begin
+                let info = pred_info state.naming atom.Atom.pred in
+                let is_supcnt = supcnt_cols state.naming atom.Atom.pred (Atom.arity atom) <> [] in
+                let ok_shape =
+                  match arg with
+                  | Term.Var _ -> true
+                  | _ -> info.is_indexed (* constants allowed for indexed preds (Lemma 8.2) *)
+                in
+                let vars_ok =
+                  List.for_all
+                    (fun v ->
+                      List.for_all
+                        (fun (w, loc) ->
+                          (not (String.equal v w))
+                          || loc_equal loc (Body_arg (i, k))
+                          || soft state ctx loc)
+                        occs)
+                    (Term.vars arg)
+                in
+                ignore is_supcnt;
+                if not (ok_shape && vars_ok) then
+                  violations := SlotSet.add (atom.Atom.pred, k) !violations
+              end)
+            atom.Atom.args)
+        ctx.rule.Rule.body)
+    state.ctxs;
+  let before = SlotSet.cardinal state.slots in
+  state.slots <- SlotSet.diff state.slots !violations;
+  SlotSet.cardinal state.slots <> before
+
+(* All-or-nothing per block of mutually recursive indexed predicates:
+   if any bound column of a block member is invalid, the whole block's
+   columns are withdrawn. *)
+let enforce_blocks state =
+  let changed = ref false in
+  List.iter
+    (fun block ->
+      let all_cols =
+        List.concat_map
+          (fun pred ->
+            List.map (fun c -> (pred, c)) (pred_info state.naming pred).bound_cols)
+          block
+      in
+      let complete = List.for_all (fun s -> SlotSet.mem s state.slots) all_cols in
+      if not complete then begin
+        let remaining = List.filter (fun s -> SlotSet.mem s state.slots) all_cols in
+        if remaining <> [] then begin
+          state.slots <- List.fold_left (fun s sl -> SlotSet.remove sl s) state.slots remaining;
+          changed := true
+        end
+      end)
+    state.blocks;
+  !changed
+
+let fixpoint state =
+  let continue = ref true in
+  while !continue do
+    let c1 =
+      Array.fold_left (fun acc ctx -> validate_deletions state ctx || acc) false
+        state.ctxs
+    in
+    let c2 = validate_slots state in
+    let c3 = enforce_blocks state in
+    continue := c1 || c2 || c3
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Applying the result                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let drop_columns slots atom =
+  let keep =
+    List.filteri (fun k _ -> not (SlotSet.mem (atom.Atom.pred, k) slots)) atom.Atom.args
+  in
+  { atom with Atom.args = keep }
+
+let apply state (t : Rewritten.t) =
+  let rules_meta =
+    Array.to_list state.ctxs
+    |> List.map (fun ctx ->
+           let del = deleted_positions ctx in
+           let body, origins =
+             List.combine ctx.rule.Rule.body ctx.meta.Rewritten.origins
+             |> List.filteri (fun i _ -> not (List.mem i del))
+             |> List.split
+           in
+           let body = List.map (Rule.map_literal (drop_columns state.slots)) body in
+           let head = drop_columns state.slots ctx.rule.Rule.head in
+           (Rule.make head body, { ctx.meta with Rewritten.origins }))
+  in
+  (* rewrite the query: if its predicate lost its bound columns, select
+     the root index level and record how to restore the constants *)
+  let query, restore =
+    let q = t.Rewritten.query in
+    let info = pred_info state.naming q.Atom.pred in
+    let dropped =
+      List.filter (fun c -> SlotSet.mem (q.Atom.pred, c) state.slots) info.bound_cols
+    in
+    if dropped = [] then (q, t.Rewritten.restore)
+    else begin
+      let root_index k =
+        (* the root level's index values are whatever the seed carries
+           (0,0,0 for numeric indices, 0,e,e for path indices) *)
+        match t.Rewritten.seeds with
+        | seed :: _ when List.length seed.Atom.args >= 3 -> List.nth seed.Atom.args k
+        | _ -> Term.Int 0
+      in
+      let root_indexed =
+        {
+          q with
+          Atom.args =
+            List.mapi (fun k arg -> if k < 3 then root_index k else arg) q.Atom.args;
+        }
+      in
+      let restore =
+        List.map
+          (fun c -> (c - 3, List.nth q.Atom.args c))
+          dropped
+      in
+      (drop_columns state.slots root_indexed, restore)
+    end
+  in
+  {
+    t with
+    Rewritten.program = Program.make (List.map fst rules_meta);
+    meta = List.map snd rules_meta;
+    query;
+    restore;
+  }
+
+(* blocks: strongly connected components of the rewritten program's
+   dependency graph, restricted to indexed predicates (each non-recursive
+   indexed predicate forms its own block) *)
+let indexed_blocks naming program =
+  let indexed sym = (pred_info naming sym.Symbol.name).is_indexed in
+  Program.sccs program
+  |> List.filter_map (fun comp ->
+         let preds = List.filter indexed comp |> List.map (fun s -> s.Symbol.name) in
+         if preds = [] then None else Some preds)
+
+let run ~allow_drops (t : Rewritten.t) =
+  if t.Rewritten.index_fields = 0 then t
+  else begin
+    let naming = t.Rewritten.naming in
+    let ctxs =
+      List.map2 (make_ctx naming t.Rewritten.adorned) (Program.rules t.Rewritten.program)
+        t.Rewritten.meta
+      |> Array.of_list
+    in
+    let slots =
+      if not allow_drops then SlotSet.empty
+      else begin
+        let from_rule rule =
+          let atoms = rule.Rule.head :: Rule.body_atoms rule in
+          List.concat_map
+            (fun a ->
+              let info = pred_info naming a.Atom.pred in
+              List.map (fun c -> (a.Atom.pred, c)) info.bound_cols
+              @ List.map
+                  (fun c -> (a.Atom.pred, c))
+                  (supcnt_cols naming a.Atom.pred (Atom.arity a)))
+            atoms
+        in
+        SlotSet.of_list (List.concat_map from_rule (Program.rules t.Rewritten.program))
+      end
+    in
+    let state =
+      { naming; ctxs; slots; blocks = indexed_blocks naming t.Rewritten.program }
+    in
+    if allow_drops then ignore (enforce_blocks state);
+    fixpoint state;
+    apply state t
+  end
+
+let optimize t = run ~allow_drops:true t
+let lemma_8_1 t = run ~allow_drops:false t
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 8.2: anonymization                                           *)
+(* ------------------------------------------------------------------ *)
+
+let anonymize (t : Rewritten.t) =
+  if t.Rewritten.index_fields = 0 then t
+  else begin
+    let naming = t.Rewritten.naming in
+    let counter = ref 0 in
+    let anonymize_rule rule =
+      let occs = occurrences rule in
+      let body =
+        List.mapi
+          (fun i lit ->
+            Rule.map_literal
+              (fun atom ->
+                let info = pred_info naming atom.Atom.pred in
+                if not info.is_indexed then atom
+                else begin
+                  let bound_vars =
+                    List.concat_map
+                      (fun c -> Term.vars (List.nth atom.Atom.args c))
+                      info.bound_cols
+                  in
+                  let isolated =
+                    List.for_all
+                      (fun v ->
+                        List.for_all
+                          (fun (w, loc) ->
+                            (not (String.equal v w))
+                            ||
+                            match loc with
+                            | Body_arg (j, c) -> j = i && List.mem c info.bound_cols
+                            | Head_arg _ -> false)
+                          occs)
+                      bound_vars
+                  in
+                  if isolated && bound_vars <> [] then
+                    {
+                      atom with
+                      Atom.args =
+                        List.mapi
+                          (fun c arg ->
+                            if List.mem c info.bound_cols then begin
+                              incr counter;
+                              Term.Var (Fmt.str "_A%d" !counter)
+                            end
+                            else arg)
+                          atom.Atom.args;
+                    }
+                  else atom
+                end)
+              lit)
+          rule.Rule.body
+      in
+      Rule.make rule.Rule.head body
+    in
+    {
+      t with
+      Rewritten.program =
+        Program.make (List.map anonymize_rule (Program.rules t.Rewritten.program));
+    }
+  end

@@ -1,0 +1,388 @@
+open Datalog
+
+type node = Head | Body of int
+
+type arc = { tail : node list; target : int; label : string list }
+
+type t = { arcs : arc list }
+
+let empty = { arcs = [] }
+
+let arcs_into sip i = List.filter (fun a -> a.target = i) sip.arcs
+
+let union_vars lists =
+  List.fold_left
+    (fun acc vs -> List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ]) acc vs)
+    [] lists
+
+let incoming_label sip i = union_vars (List.map (fun a -> a.label) (arcs_into sip i))
+
+let node_equal a b =
+  match a, b with
+  | Head, Head -> true
+  | Body i, Body j -> i = j
+  | (Head | Body _), _ -> false
+
+let participants sip =
+  List.fold_left
+    (fun acc arc ->
+      let nodes = (Body arc.target :: arc.tail) in
+      List.fold_left
+        (fun acc n -> if List.exists (node_equal n) acc then acc else acc @ [ n ])
+        acc nodes)
+    [] sip.arcs
+
+(* ------------------------------------------------------------------ *)
+(* Rule access helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let body_array rule = Array.of_list rule.Rule.body
+
+let atom_at body i =
+  if i < 0 || i >= Array.length body then None
+  else
+    match body.(i) with
+    | Rule.Pos a when not (Atom.is_builtin a) -> Some a
+    | Rule.Pos _ | Rule.Neg _ -> None
+
+let head_bound_vars rule adornment =
+  union_vars (List.map Term.vars (Adornment.select_bound adornment rule.Rule.head.Atom.args))
+
+let node_vars rule adornment body = function
+  | Head -> head_bound_vars rule adornment
+  | Body i -> begin
+    match atom_at body i with Some a -> Atom.vars a | None -> []
+  end
+
+(* Connected closure: restrict [candidates] to the nodes connected to a
+   variable of [seed_vars] through chains of shared variables within the
+   candidate set (condition (2ii)). *)
+let connected_closure rule adornment body seed_vars candidates =
+  let vars_of = node_vars rule adornment body in
+  let in_closure = ref [] in
+  let closure_vars = ref seed_vars in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if not (List.exists (node_equal n) !in_closure) then begin
+          let vs = vars_of n in
+          if List.exists (fun v -> List.mem v !closure_vars) vs then begin
+            in_closure := n :: !in_closure;
+            closure_vars := union_vars [ !closure_vars; vs ];
+            changed := true
+          end
+        end)
+      candidates
+  done;
+  List.filter (fun n -> List.exists (node_equal n) !in_closure) candidates
+
+(* Label for passing bindings into [atom] given available variables: the
+   union of the variables of the arguments of [atom] that are fully
+   covered by [available] (condition (2iii)).  Ground arguments contribute
+   nothing.  Empty label means no information can be passed. *)
+let label_for available atom =
+  let coverable_arg_vars =
+    List.filter_map
+      (fun arg ->
+        let vs = Term.vars arg in
+        if vs <> [] && List.for_all (fun v -> List.mem v available) vs then Some vs
+        else None)
+      atom.Atom.args
+  in
+  union_vars coverable_arg_vars
+
+let sort_nodes nodes =
+  let key = function Head -> -1 | Body i -> i in
+  List.sort (fun a b -> Int.compare (key a) (key b)) nodes
+
+let make_arc rule adornment body ~candidates ~target atom =
+  let available =
+    union_vars (List.map (node_vars rule adornment body) candidates)
+  in
+  let label = label_for available atom in
+  if label = [] then None
+  else
+    let tail = connected_closure rule adornment body label candidates in
+    let tail =
+      List.filter (fun n -> node_vars rule adornment body n <> []) tail
+    in
+    if tail = [] then None else Some { tail = sort_nodes tail; target; label }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in strategies                                                *)
+(* ------------------------------------------------------------------ *)
+
+type strategy = derived:Symbol.Set.t -> Rule.t -> Adornment.t -> t
+
+let target_indices ~derived body =
+  List.filter_map
+    (fun i ->
+      match atom_at body i with
+      | Some a when Symbol.Set.mem (Atom.symbol a) derived -> Some i
+      | Some _ | None -> None)
+    (List.init (Array.length body) Fun.id)
+
+let head_node_if_bound rule adornment =
+  if head_bound_vars rule adornment = [] then [] else [ Head ]
+
+let full_left_to_right ~derived rule adornment =
+  let body = body_array rule in
+  let arcs =
+    List.filter_map
+      (fun i ->
+        let atom = Option.get (atom_at body i) in
+        let candidates =
+          head_node_if_bound rule adornment
+          @ List.filter_map
+              (fun j -> match atom_at body j with Some _ -> Some (Body j) | None -> None)
+              (List.init i Fun.id)
+        in
+        make_arc rule adornment body ~candidates ~target:i atom)
+      (target_indices ~derived body)
+  in
+  { arcs }
+
+let chain_left_to_right ~derived rule adornment =
+  let body = body_array rule in
+  let arcs =
+    List.filter_map
+      (fun i ->
+        let atom = Option.get (atom_at body i) in
+        (* walk left collecting base literals until the nearest derived
+           literal (the supplier) or the head *)
+        let rec collect j acc =
+          if j < 0 then head_node_if_bound rule adornment @ acc
+          else
+            match atom_at body j with
+            | Some a when Symbol.Set.mem (Atom.symbol a) derived -> Body j :: acc
+            | Some _ -> collect (j - 1) (Body j :: acc)
+            | None -> collect (j - 1) acc
+        in
+        let candidates = collect (i - 1) [] in
+        make_arc rule adornment body ~candidates ~target:i atom)
+      (target_indices ~derived body)
+  in
+  { arcs }
+
+let head_only ~derived rule adornment =
+  let body = body_array rule in
+  let arcs =
+    List.filter_map
+      (fun i ->
+        let atom = Option.get (atom_at body i) in
+        let candidates = head_node_if_bound rule adornment in
+        if candidates = [] then None
+        else make_arc rule adornment body ~candidates ~target:i atom)
+      (target_indices ~derived body)
+  in
+  { arcs }
+
+let none ~derived:_ _rule _adornment = empty
+
+let strategy_of_string = function
+  | "full" -> Some full_left_to_right
+  | "chain" -> Some chain_left_to_right
+  | "head-only" -> Some head_only
+  | "none" -> Some none
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Validation (conditions 1, 2i-iii, 3)                               *)
+(* ------------------------------------------------------------------ *)
+
+let validate rule adornment sip =
+  let body = body_array rule in
+  let check_arc arc =
+    match atom_at body arc.target with
+    | None -> Error (Fmt.str "arc target %d is not a positive body atom" arc.target)
+    | Some atom ->
+      let tail_vars =
+        union_vars (List.map (node_vars rule adornment body) arc.tail)
+      in
+      let bad_tail_node =
+        List.find_opt
+          (fun n ->
+            match n with
+            | Head -> head_bound_vars rule adornment = []
+            | Body i -> atom_at body i = None || i = arc.target)
+          arc.tail
+      in
+      if bad_tail_node <> None then
+        Error (Fmt.str "arc into literal %d has an invalid tail node" arc.target)
+      else if arc.label = [] then
+        Error (Fmt.str "arc into literal %d has an empty label" arc.target)
+      else if List.exists (fun v -> not (List.mem v tail_vars)) arc.label then
+        Error
+          (Fmt.str "condition (2i): a label variable of the arc into literal %d \
+                    does not appear in its tail" arc.target)
+      else begin
+        (* (2ii): every tail member connected to a label variable *)
+        let closure =
+          connected_closure rule adornment body arc.label arc.tail
+        in
+        if List.length closure <> List.length arc.tail then
+          Error
+            (Fmt.str "condition (2ii): a tail member of the arc into literal %d \
+                      is not connected to a label variable" arc.target)
+        else begin
+          (* (2iii): every label var in a fully-covered argument *)
+          let covered_vars =
+            union_vars
+              (List.filter_map
+                 (fun arg ->
+                   let vs = Term.vars arg in
+                   if vs <> [] && List.for_all (fun v -> List.mem v arc.label) vs
+                   then Some vs
+                   else None)
+                 atom.Atom.args)
+          in
+          if List.exists (fun v -> not (List.mem v covered_vars)) arc.label then
+            Error
+              (Fmt.str "condition (2iii): a label variable of the arc into literal \
+                        %d does not cover an argument" arc.target)
+          else Ok ()
+        end
+      end
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | arc :: rest -> begin
+      match check_arc arc with Error _ as e -> e | Ok () -> check rest
+    end
+  in
+  match check sip.arcs with
+  | Error _ as e -> e
+  | Ok () ->
+    (* condition (3): acyclic precedence.  Edges: tail body nodes before
+       targets. *)
+    let n = Array.length body in
+    let edges =
+      List.concat_map
+        (fun arc ->
+          List.filter_map
+            (fun nd -> match nd with Body j -> Some (j, arc.target) | Head -> None)
+            arc.tail)
+        sip.arcs
+    in
+    let visited = Array.make n 0 in
+    (* 0 = unvisited, 1 = in progress, 2 = done *)
+    let rec cyclic i =
+      if visited.(i) = 1 then true
+      else if visited.(i) = 2 then false
+      else begin
+        visited.(i) <- 1;
+        let succs = List.filter_map (fun (a, b) -> if a = i then Some b else None) edges in
+        let c = List.exists cyclic succs in
+        visited.(i) <- 2;
+        c
+      end
+    in
+    if List.exists cyclic (List.init n Fun.id) then
+      Error "condition (3): the sip's precedence relation is cyclic"
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Ordering (condition 3')                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ordering rule sip =
+  let n = List.length rule.Rule.body in
+  let part =
+    List.filter_map (function Body i -> Some i | Head -> None) (participants sip)
+  in
+  let is_participant i = List.mem i part in
+  let edges =
+    List.concat_map
+      (fun arc ->
+        List.filter_map
+          (fun nd -> match nd with Body j -> Some (j, arc.target) | Head -> None)
+          arc.tail)
+      sip.arcs
+  in
+  let placed = Array.make n false in
+  let result = ref [] in
+  let ready i =
+    (not placed.(i))
+    && List.for_all (fun (a, b) -> b <> i || placed.(a)) edges
+  in
+  let rec place_participants () =
+    match List.find_opt (fun i -> is_participant i && ready i) (List.init n Fun.id) with
+    | Some i ->
+      placed.(i) <- true;
+      result := i :: !result;
+      place_participants ()
+    | None -> ()
+  in
+  place_participants ();
+  if List.exists (fun i -> is_participant i && not placed.(i)) (List.init n Fun.id)
+  then invalid_arg "Sip.ordering: cyclic sip";
+  List.iter
+    (fun i ->
+      if not placed.(i) then begin
+        placed.(i) <- true;
+        result := i :: !result
+      end)
+    (List.init n Fun.id);
+  List.rev !result
+
+(* ------------------------------------------------------------------ *)
+(* Containment (Section 2.1)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let node_subset a b = List.for_all (fun n -> List.exists (node_equal n) b) a
+let var_subset a b = List.for_all (fun v -> List.mem v b) a
+
+let arc_contained a a' =
+  a.target = a'.target && node_subset a.tail a'.tail && var_subset a.label a'.label
+
+let contained g g' =
+  List.for_all (fun a -> List.exists (arc_contained a) g'.arcs) g.arcs
+
+let compare_sips g g' =
+  match contained g g', contained g' g with
+  | true, true -> `Equal
+  | true, false -> `Less
+  | false, true -> `Greater
+  | false, false -> `Incomparable
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let occurrence_names rule =
+  let body = body_array rule in
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun lit ->
+      match lit with
+      | Rule.Pos a when not (Atom.is_builtin a) ->
+        let n = Option.value ~default:0 (Hashtbl.find_opt counts a.Atom.pred) in
+        Hashtbl.replace counts a.Atom.pred (n + 1)
+      | Rule.Pos _ | Rule.Neg _ -> ())
+    body;
+  let seen = Hashtbl.create 8 in
+  Array.to_list body
+  |> List.map (fun lit ->
+         match lit with
+         | Rule.Pos a when not (Atom.is_builtin a) ->
+           let total = Option.value ~default:0 (Hashtbl.find_opt counts a.Atom.pred) in
+           let k = Option.value ~default:0 (Hashtbl.find_opt seen a.Atom.pred) in
+           Hashtbl.replace seen a.Atom.pred (k + 1);
+           if total > 1 then Fmt.str "%s.%d" a.Atom.pred (k + 1) else a.Atom.pred
+         | Rule.Pos a -> Atom.to_string a
+         | Rule.Neg a -> "not " ^ Atom.to_string a)
+
+let pp ~rule ppf sip =
+  let names = Array.of_list (occurrence_names rule) in
+  let head_name = rule.Rule.head.Atom.pred ^ "_h" in
+  let node_name = function Head -> head_name | Body i -> names.(i) in
+  let pp_arc ppf arc =
+    Fmt.pf ppf "{%a} -%a-> %s"
+      (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+      (List.map node_name arc.tail)
+      (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+      arc.label (node_name (Body arc.target))
+  in
+  Fmt.pf ppf "%a" (Fmt.list ~sep:(Fmt.any "; ") pp_arc) sip.arcs

@@ -1,0 +1,133 @@
+open Datalog
+
+let sup_atom ~naming ~simplify ~adorned_index (ar : Adorn.adorned_rule) i =
+  let vars = Rew_util.sup_vars ~simplify ar i in
+  let name =
+    Naming.supp naming ~rule_index:adorned_index ~position:i
+      ~head:ar.Adorn.head_pred ~adornment:ar.Adorn.head_adornment
+  in
+  Atom.make name (List.map (fun v -> Term.Var v) vars)
+
+(* The literal standing for sup_r_i in a rule body: with [simplify],
+   sup_r_1 is replaced by the head's magic literal (or nothing when the
+   head has no bound arguments). *)
+let sup_reference ~naming ~simplify ~adorned_index (ar : Adorn.adorned_rule) i =
+  let magic_guard () =
+    if Adornment.has_bound ar.Adorn.head_adornment then
+      [
+        ( Rewritten.Guard,
+          Rule.Pos
+            (Atom.make
+               (Naming.magic naming ar.Adorn.head_pred ar.Adorn.head_adornment)
+               (Rew_util.head_bound_args ar)) );
+      ]
+    else []
+  in
+  if i = 1 && simplify then magic_guard ()
+  else
+    [ (Rewritten.Sup_lit i, Rule.Pos (sup_atom ~naming ~simplify ~adorned_index ar i)) ]
+
+let rewrite_rule ~naming ~simplify ~adorned_index (ar : Adorn.adorned_rule) =
+  let body = Array.of_list ar.Adorn.rule.Rule.body in
+  let n = Array.length body in
+  match Rew_util.last_arc_target ar with
+  | None ->
+    (* no sip arcs: no supplementary or magic rules; the modified rule is
+       the adorned rule guarded by the head's magic literal *)
+    let guard = sup_reference ~naming ~simplify:true ~adorned_index ar 1 in
+    let lits =
+      guard @ List.mapi (fun i lit -> (Rewritten.Body_copy i, lit)) (Array.to_list body)
+    in
+    [
+      ( Rule.make ar.Adorn.rule.Rule.head (List.map snd lits),
+        { Rewritten.kind = Rewritten.Modified adorned_index; origins = List.map fst lits }
+      );
+    ]
+  | Some last ->
+    let m = last + 1 in
+    (* 1-based index of the last literal with an incoming arc *)
+    let sup_def i =
+      (* sup rule i (2-based; the i = 1 rule exists only without the
+         simplification): sup_i :- sup_{i-1}, literal_{i-1} *)
+      if i = 1 then
+        let lits = sup_reference ~naming ~simplify:true ~adorned_index ar 1 in
+        ( Rule.make (sup_atom ~naming ~simplify ~adorned_index ar 1) (List.map snd lits),
+          {
+            Rewritten.kind = Rewritten.Sup_def { adorned_index; position = 1 };
+            origins = List.map fst lits;
+          } )
+      else
+        let prev = sup_reference ~naming ~simplify ~adorned_index ar (i - 1) in
+        let lits = prev @ [ (Rewritten.Body_copy (i - 2), body.(i - 2)) ] in
+        ( Rule.make (sup_atom ~naming ~simplify ~adorned_index ar i) (List.map snd lits),
+          {
+            Rewritten.kind = Rewritten.Sup_def { adorned_index; position = i };
+            origins = List.map fst lits;
+          } )
+    in
+    let sup_rules =
+      let first = if simplify then 2 else 1 in
+      List.filter_map
+        (fun i -> if i >= first && i <= m then Some (sup_def i) else None)
+        (List.init (m + 1) Fun.id)
+    in
+    (* magic rule for each body literal with an incoming arc *)
+    let magic_rules =
+      List.concat_map
+        (fun i ->
+          if Sip.arcs_into ar.Adorn.sip i = [] then []
+          else
+            match Rew_util.classify ~naming ar i with
+            | Rew_util.Derived { orig_pred; adornment; atom }
+              when Adornment.has_bound adornment ->
+              let head =
+                Atom.make (Naming.magic naming orig_pred adornment)
+                  (Rew_util.bound_args adornment atom)
+              in
+              let lits = sup_reference ~naming ~simplify ~adorned_index ar (i + 1) in
+              [
+                ( Rule.make head (List.map snd lits),
+                  {
+                    Rewritten.kind = Rewritten.Magic_def { adorned_index; target = i };
+                    origins = List.map fst lits;
+                  } );
+              ]
+            | Rew_util.Derived _ | Rew_util.Base _ | Rew_util.Builtin _
+            | Rew_util.Negated _ ->
+              [])
+        (List.init n Fun.id)
+    in
+    (* modified rule: sup_m followed by the literals from m on *)
+    let tail_lits =
+      List.filteri (fun k _ -> k >= m - 1) (Array.to_list body)
+      |> List.mapi (fun k lit -> (Rewritten.Body_copy (m - 1 + k), lit))
+    in
+    let lits = sup_reference ~naming ~simplify ~adorned_index ar m @ tail_lits in
+    sup_rules @ magic_rules
+    @ [
+        ( Rule.make ar.Adorn.rule.Rule.head (List.map snd lits),
+          {
+            Rewritten.kind = Rewritten.Modified adorned_index;
+            origins = List.map fst lits;
+          } );
+      ]
+
+let rewrite ?(simplify = true) (adorned : Adorn.t) =
+  let naming = adorned.Adorn.naming in
+  let rules_with_meta =
+    List.concat
+      (List.mapi
+         (fun adorned_index ar -> rewrite_rule ~naming ~simplify ~adorned_index ar)
+         adorned.Adorn.rules)
+  in
+  let seeds = Option.to_list (Rew_util.seed_atom naming adorned) in
+  {
+    Rewritten.program = Program.make (List.map fst rules_with_meta);
+    meta = List.map snd rules_with_meta;
+    seeds;
+    query = adorned.Adorn.query;
+    naming;
+    adorned;
+    index_fields = 0;
+    restore = [];
+  }

@@ -1,0 +1,17 @@
+(** Generalized Supplementary Magic Sets (Section 5 of the paper).
+
+    GMS duplicates work: the join computed by a magic rule is recomputed
+    by the next magic rule and by the modified rule.  GSMS stores these
+    intermediate joins in {e supplementary} predicates [sup_r_i] — one per
+    prefix of each rule's (sip-ordered) body up to the last literal with
+    an incoming arc — and defines each magic predicate and the modified
+    rule from the supplementary predicates.  Theorem 5.1: equivalent to
+    the adorned program.  This is also the Alexander strategy of Rohmer &
+    Lescoeur restricted to Datalog.
+
+    The paper's two simple optimizations are applied when [simplify] is
+    set (the default): variables useless for the rest of the rule are
+    dropped from the supplementary predicates, and [sup_r_1] is deleted
+    with its occurrences replaced by the head's magic literal. *)
+
+val rewrite : ?simplify:bool -> Adorn.t -> Rewritten.t

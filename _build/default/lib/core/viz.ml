@@ -1,0 +1,85 @@
+open Datalog
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let buffer_dot f =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph G {\n";
+  f buf;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let sip_dot ~rule sip =
+  let names = Array.of_list (Sip.occurrence_names rule) in
+  let node_name = function
+    | Sip.Head -> rule.Rule.head.Atom.pred ^ "_h"
+    | Sip.Body i -> names.(i)
+  in
+  buffer_dot (fun buf ->
+      Buffer.add_string buf "  rankdir=LR;\n  node [shape=box];\n";
+      (* declare the nodes that participate *)
+      List.iter
+        (fun nd ->
+          Buffer.add_string buf (Fmt.str "  \"%s\";\n" (escape (node_name nd))))
+        (Sip.participants sip);
+      List.iteri
+        (fun i arc ->
+          (* tails of more than one node go through a join point *)
+          match arc.Sip.tail with
+          | [ single ] ->
+            Buffer.add_string buf
+              (Fmt.str "  \"%s\" -> \"%s\" [label=\"%s\"];\n"
+                 (escape (node_name single))
+                 (escape (node_name (Sip.Body arc.Sip.target)))
+                 (escape (String.concat "," arc.Sip.label)))
+          | tail ->
+            let join = Fmt.str "join%d" i in
+            Buffer.add_string buf
+              (Fmt.str "  \"%s\" [shape=point];\n" join);
+            List.iter
+              (fun nd ->
+                Buffer.add_string buf
+                  (Fmt.str "  \"%s\" -> \"%s\" [arrowhead=none];\n"
+                     (escape (node_name nd)) join))
+              tail;
+            Buffer.add_string buf
+              (Fmt.str "  \"%s\" -> \"%s\" [label=\"%s\"];\n" join
+                 (escape (node_name (Sip.Body arc.Sip.target)))
+                 (escape (String.concat "," arc.Sip.label))))
+        sip.Sip.arcs)
+
+let dependency_dot program =
+  buffer_dot (fun buf ->
+      List.iter
+        (fun (head, deps) ->
+          List.iter
+            (fun (dep, negated) ->
+              Buffer.add_string buf
+                (Fmt.str "  \"%s\" -> \"%s\"%s;\n" (escape (Symbol.to_string head))
+                   (escape (Symbol.to_string dep))
+                   (if negated then " [style=dashed]" else "")))
+            deps)
+        (Program.dependency_graph program))
+
+let adorned_name (p, a) = Fmt.str "%s^%s" p (Adornment.to_string a)
+
+let binding_graph_dot adorned =
+  buffer_dot (fun buf ->
+      List.iter
+        (fun (arc : Safety.binding_arc) ->
+          Buffer.add_string buf
+            (Fmt.str "  \"%s\" -> \"%s\" [label=\"r%d: %s\"];\n"
+               (escape (adorned_name arc.Safety.src))
+               (escape (adorned_name arc.Safety.dst))
+               arc.Safety.rule_index
+               (escape (Fmt.str "%a" Safety.Len.pp arc.Safety.length))))
+        (Safety.binding_graph adorned))
+
+let argument_graph_dot adorned =
+  let node (p, a, m) = Fmt.str "%s^%s#%d" p (Adornment.to_string a) m in
+  buffer_dot (fun buf ->
+      List.iter
+        (fun (src, dst) ->
+          Buffer.add_string buf
+            (Fmt.str "  \"%s\" -> \"%s\";\n" (escape (node src)) (escape (node dst))))
+        (Safety.argument_graph adorned))

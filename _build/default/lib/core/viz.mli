@@ -1,0 +1,21 @@
+(** Graphviz (DOT) renderings of the paper's graphs, for inspection and
+    documentation: sip graphs (Section 2), predicate dependency graphs,
+    the binding graph with its arc lengths (Section 10) and the argument
+    graph (Theorem 10.3). *)
+
+open Datalog
+
+val sip_dot : rule:Rule.t -> Sip.t -> string
+(** One cluster per sip arc tail; nodes named like the paper
+    ([sg_h], [up], [sg.1], ...). *)
+
+val dependency_dot : Program.t -> string
+(** Derived-predicate dependency graph; negative dependencies are dashed. *)
+
+val binding_graph_dot : Adorn.t -> string
+(** Adorned predicates as nodes, arcs labeled with rule index and
+    symbolic arc length. *)
+
+val argument_graph_dot : Adorn.t -> string
+(** Bound argument positions as nodes; a cycle here means the counting
+    methods diverge (Theorem 10.3). *)

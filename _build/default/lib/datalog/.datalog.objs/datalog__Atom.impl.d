@@ -1,0 +1,1 @@
+lib/datalog/atom.ml: Fmt List String Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/atom.mli: Fmt Subst Symbol Term

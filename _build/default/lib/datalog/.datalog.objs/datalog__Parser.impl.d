@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Atom Fmt Lexer List Program Rule Symbol Term

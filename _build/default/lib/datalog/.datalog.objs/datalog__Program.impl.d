@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Atom Bool Fmt Hashtbl List Option Rule Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/rule.ml: Array Atom Fmt Fun Hashtbl List Option

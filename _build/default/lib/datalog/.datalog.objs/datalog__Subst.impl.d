@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Fmt List Map String Term

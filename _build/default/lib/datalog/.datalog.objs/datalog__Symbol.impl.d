@@ -1,0 +1,1 @@
+lib/datalog/symbol.ml: Fmt Hashtbl Int Map Set String

@@ -1,0 +1,118 @@
+type token =
+  | IDENT of string
+  | VARIABLE of string
+  | INTEGER of int
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | BAR
+  | ARROW
+  | QUERY
+  | NOT
+  | PLUS
+  | STAR
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_digit c || is_lower c || is_upper c || c = '_' || c = '\''
+
+let tokenize input =
+  let n = String.length input in
+  let rec skip i =
+    if i >= n then i
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | '%' ->
+        let rec eol j = if j >= n || input.[j] = '\n' then j else eol (j + 1) in
+        skip (eol i)
+      | _ -> i
+  in
+  let rec lex acc i =
+    let i = skip i in
+    if i >= n then List.rev (EOF :: acc)
+    else
+      let c = input.[i] in
+      if is_digit c then begin
+        let rec stop j = if j < n && is_digit input.[j] then stop (j + 1) else j in
+        let j = stop i in
+        lex (INTEGER (int_of_string (String.sub input i (j - i))) :: acc) j
+      end
+      else if is_lower c || is_upper c || c = '_' then begin
+        let rec stop j = if j < n && is_ident_char input.[j] then stop (j + 1) else j in
+        let j = stop i in
+        let word = String.sub input i (j - i) in
+        let tok =
+          if word = "not" then NOT
+          else if is_lower c then IDENT word
+          else VARIABLE word
+        in
+        lex (tok :: acc) j
+      end
+      else
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | ":-" -> lex (ARROW :: acc) (i + 2)
+        | "?-" -> lex (QUERY :: acc) (i + 2)
+        | "<>" | "!=" -> lex (NEQ :: acc) (i + 2)
+        | "<=" -> lex (LE :: acc) (i + 2)
+        | ">=" -> lex (GE :: acc) (i + 2)
+        | _ -> begin
+          match c with
+          | '(' -> lex (LPAREN :: acc) (i + 1)
+          | ')' -> lex (RPAREN :: acc) (i + 1)
+          | '[' -> lex (LBRACKET :: acc) (i + 1)
+          | ']' -> lex (RBRACKET :: acc) (i + 1)
+          | ',' -> lex (COMMA :: acc) (i + 1)
+          | '.' -> lex (DOT :: acc) (i + 1)
+          | '|' -> lex (BAR :: acc) (i + 1)
+          | '+' -> lex (PLUS :: acc) (i + 1)
+          | '*' -> lex (STAR :: acc) (i + 1)
+          | '/' -> lex (SLASH :: acc) (i + 1)
+          | '=' -> lex (EQ :: acc) (i + 1)
+          | '<' -> lex (LT :: acc) (i + 1)
+          | '>' -> lex (GT :: acc) (i + 1)
+          | '?' -> lex (IDENT "?" :: acc) (i + 1)
+          | c -> raise (Error (Fmt.str "unexpected character %C" c, i))
+        end
+  in
+  lex [] 0
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | VARIABLE s -> Fmt.pf ppf "variable %s" s
+  | INTEGER i -> Fmt.pf ppf "integer %d" i
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | COMMA -> Fmt.string ppf ","
+  | DOT -> Fmt.string ppf "."
+  | BAR -> Fmt.string ppf "|"
+  | ARROW -> Fmt.string ppf ":-"
+  | QUERY -> Fmt.string ppf "?-"
+  | NOT -> Fmt.string ppf "not"
+  | PLUS -> Fmt.string ppf "+"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | EQ -> Fmt.string ppf "="
+  | NEQ -> Fmt.string ppf "<>"
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | EOF -> Fmt.string ppf "end of input"

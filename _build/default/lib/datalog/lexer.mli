@@ -1,0 +1,40 @@
+(** Hand-written lexer for the Datalog concrete syntax.
+
+    Tokens cover identifiers (lowercase-initial: predicate and constant
+    names), variables (uppercase- or [_]-initial), integers, punctuation,
+    list brackets, arithmetic operators, comparison operators, the rule
+    arrow [:-], the query arrow [?-] and the [not] keyword.  Comments run
+    from [%] to end of line. *)
+
+type token =
+  | IDENT of string
+  | VARIABLE of string
+  | INTEGER of int
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | BAR
+  | ARROW  (** [:-] *)
+  | QUERY  (** [?-] *)
+  | NOT
+  | PLUS
+  | STAR
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string * int
+(** Lexical error message and character offset. *)
+
+val tokenize : string -> token list
+(** Lex a whole input, ending with [EOF].  @raise Error on bad input. *)
+
+val pp_token : token Fmt.t

@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the Datalog concrete syntax.
+
+    Grammar (comments start with [%]):
+    {v
+      program  ::= { clause } EOF
+      clause   ::= rule | query
+      query    ::= "?-" atom "."
+      rule     ::= atom [ ":-" literal { "," literal } ] "."
+      literal  ::= "not" atom | atom | term relop term
+      atom     ::= ident [ "(" term { "," term } ")" ]
+      term     ::= product { "+" product }
+      product  ::= primary { ( "*" | "/" ) primary }
+      primary  ::= variable | integer | ident [ "(" terms ")" ]
+                 | "[" "]" | "[" terms [ "|" term ] "]" | "(" term ")"
+      relop    ::= "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+    v}
+
+    The tokens [_] and [?] denote anonymous variables; every occurrence is
+    given a distinct fresh name. *)
+
+exception Error of string
+
+val parse_term : string -> Term.t
+val parse_atom : string -> Atom.t
+val parse_rule : string -> Rule.t
+
+val parse_program : string -> Program.t * Atom.t option
+(** Parse a whole source text; the optional atom is the last [?-] query.
+    Facts (rules with empty bodies) are kept in the program — use
+    {!split_facts} to separate them into an extensional database. *)
+
+val split_facts : Program.t -> Program.t * Atom.t list
+(** Separate ground facts from proper rules. *)

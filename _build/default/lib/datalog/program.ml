@@ -1,0 +1,203 @@
+type t = { rules : Rule.t list }
+
+let make rules = { rules }
+let rules p = p.rules
+let is_empty p = p.rules = []
+let size p = List.length p.rules
+
+let derived p =
+  List.fold_left (fun s r -> Symbol.Set.add (Atom.symbol r.Rule.head) s) Symbol.Set.empty
+    p.rules
+
+let body_symbols p =
+  List.fold_left
+    (fun s r ->
+      List.fold_left
+        (fun s a -> if Atom.is_builtin a then s else Symbol.Set.add (Atom.symbol a) s)
+        s (Rule.body_atoms r))
+    Symbol.Set.empty p.rules
+
+let base p = Symbol.Set.diff (body_symbols p) (derived p)
+let predicates p = Symbol.Set.union (derived p) (body_symbols p)
+let is_derived p sym = Symbol.Set.mem sym (derived p)
+
+let rules_for p sym =
+  List.mapi (fun i r -> (i, r)) p.rules
+  |> List.filter (fun (_, r) -> Symbol.equal (Atom.symbol r.Rule.head) sym)
+
+let has_function_symbols p =
+  let term_has = function
+    | Term.Var _ | Term.Int _ | Term.Sym _ -> false
+    | Term.App _ | Term.Add _ | Term.Mul _ | Term.Div _ -> true
+  in
+  let atom_has a = List.exists term_has a.Atom.args in
+  List.exists
+    (fun r -> atom_has r.Rule.head || List.exists atom_has (Rule.body_atoms r))
+    p.rules
+
+let well_formed p =
+  let arities = Hashtbl.create 16 in
+  let check_atom a =
+    let { Symbol.name; arity } = Atom.symbol a in
+    match Hashtbl.find_opt arities name with
+    | None ->
+      Hashtbl.add arities name arity;
+      Ok ()
+    | Some ar when ar = arity -> Ok ()
+    | Some ar ->
+      Error (Fmt.str "predicate %s used with arities %d and %d" name ar arity)
+  in
+  let rec check_rules = function
+    | [] -> Ok ()
+    | r :: rest -> begin
+      match Rule.well_formed r with
+      | Error _ as e -> e
+      | Ok () ->
+        let atoms = r.Rule.head :: Rule.body_atoms r in
+        let rec check_atoms = function
+          | [] -> check_rules rest
+          | a :: more -> begin
+            match check_atom a with Error _ as e -> e | Ok () -> check_atoms more
+          end
+        in
+        check_atoms (List.filter (fun a -> not (Atom.is_builtin a)) atoms)
+    end
+  in
+  check_rules p.rules
+
+let dependency_graph p =
+  let idb = derived p in
+  Symbol.Set.fold
+    (fun sym acc ->
+      let deps =
+        List.concat_map
+          (fun r ->
+            if Symbol.equal (Atom.symbol r.Rule.head) sym then
+              List.filter_map
+                (fun lit ->
+                  let a = Rule.atom_of_literal lit in
+                  if Atom.is_builtin a then None
+                  else Some (Atom.symbol a, not (Rule.is_positive lit)))
+                r.Rule.body
+            else [])
+          p.rules
+      in
+      let deps = List.sort_uniq (fun (a, na) (b, nb) ->
+          let c = Symbol.compare a b in
+          if c <> 0 then c else Bool.compare na nb) deps
+      in
+      (sym, deps) :: acc)
+    idb []
+
+(* Tarjan's algorithm over derived predicates. *)
+let sccs p =
+  let graph = dependency_graph p in
+  let idb = derived p in
+  let succ = Hashtbl.create 16 in
+  List.iter
+    (fun (sym, deps) ->
+      let ds =
+        List.filter_map
+          (fun (d, _) -> if Symbol.Set.mem d idb then Some d else None)
+          deps
+      in
+      Hashtbl.replace succ sym ds)
+    graph;
+  let index = ref 0 in
+  let indices = Symbol.Tbl.create 16 in
+  let lowlink = Symbol.Tbl.create 16 in
+  let on_stack = Symbol.Tbl.create 16 in
+  let stack = ref [] in
+  let components = ref [] in
+  let rec strongconnect v =
+    Symbol.Tbl.replace indices v !index;
+    Symbol.Tbl.replace lowlink v !index;
+    incr index;
+    stack := v :: !stack;
+    Symbol.Tbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Symbol.Tbl.mem indices w) then begin
+          strongconnect w;
+          let lv = Symbol.Tbl.find lowlink v and lw = Symbol.Tbl.find lowlink w in
+          if lw < lv then Symbol.Tbl.replace lowlink v lw
+        end
+        else if Option.value ~default:false (Symbol.Tbl.find_opt on_stack w) then begin
+          let lv = Symbol.Tbl.find lowlink v and iw = Symbol.Tbl.find indices w in
+          if iw < lv then Symbol.Tbl.replace lowlink v iw
+        end)
+      (Option.value ~default:[] (Hashtbl.find_opt succ v));
+    if Symbol.Tbl.find lowlink v = Symbol.Tbl.find indices v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Symbol.Tbl.replace on_stack w false;
+          if Symbol.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  Symbol.Set.iter (fun v -> if not (Symbol.Tbl.mem indices v) then strongconnect v) idb;
+  (* Tarjan emits components in reverse topological order of the condensed
+     graph when collected in discovery order; we accumulated by prepending,
+     so reverse to get callees first. *)
+  List.rev !components
+
+let is_recursive p sym =
+  let graph = dependency_graph p in
+  let direct =
+    List.exists
+      (fun (s, deps) -> Symbol.equal s sym && List.exists (fun (d, _) -> Symbol.equal d sym) deps)
+      graph
+  in
+  direct
+  || List.exists (fun comp -> List.length comp > 1 && List.exists (Symbol.equal sym) comp)
+       (sccs p)
+
+let stratify p =
+  let graph = dependency_graph p in
+  let idb = derived p in
+  let stratum = Symbol.Tbl.create 16 in
+  Symbol.Set.iter (fun s -> Symbol.Tbl.replace stratum s 0) idb;
+  let n = Symbol.Set.cardinal idb in
+  let changed = ref true in
+  let rounds = ref 0 in
+  let error = ref None in
+  while !changed && !error = None do
+    changed := false;
+    incr rounds;
+    if !rounds > n + 1 then
+      error := Some "negation through recursion: the program is not stratifiable";
+    List.iter
+      (fun (head, deps) ->
+        List.iter
+          (fun (dep, negated) ->
+            if Symbol.Set.mem dep idb then begin
+              let sd = Symbol.Tbl.find stratum dep in
+              let sh = Symbol.Tbl.find stratum head in
+              let required = if negated then sd + 1 else sd in
+              if sh < required then begin
+                Symbol.Tbl.replace stratum head required;
+                changed := true
+              end
+            end)
+          deps)
+      graph
+  done;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (fun s -> Option.value ~default:0 (Symbol.Tbl.find_opt stratum s))
+
+let rename_pred f p =
+  let rename_atom a = { a with Atom.pred = f a.Atom.pred } in
+  make
+    (List.map
+       (fun r ->
+         Rule.make (rename_atom r.Rule.head)
+           (List.map (Rule.map_literal rename_atom) r.Rule.body))
+       p.rules)
+
+let pp ppf p = Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n") Rule.pp) p.rules
+let to_string p = Fmt.str "%a" pp p

@@ -1,0 +1,129 @@
+type literal = Pos of Atom.t | Neg of Atom.t
+
+type t = { head : Atom.t; body : literal list }
+
+let make head body = { head; body }
+let fact head = { head; body = [] }
+let is_fact r = r.body = []
+
+let atom_of_literal = function Pos a | Neg a -> a
+let is_positive = function Pos _ -> true | Neg _ -> false
+
+let map_literal f = function Pos a -> Pos (f a) | Neg a -> Neg (f a)
+
+let positive_body r =
+  List.filter_map (function Pos a -> Some a | Neg _ -> None) r.body
+
+let body_atoms r = List.map atom_of_literal r.body
+
+let body_vars r =
+  List.rev (List.fold_left (fun acc a -> Atom.add_vars a acc) [] (body_atoms r))
+
+let vars r =
+  let acc = Atom.add_vars r.head [] in
+  List.rev (List.fold_left (fun acc a -> Atom.add_vars a acc) acc (body_atoms r))
+
+let well_formed r =
+  let pos_vars =
+    List.fold_left (fun acc a -> Atom.add_vars a acc) [] (positive_body r)
+  in
+  (* Head variables that do not occur in a positive body literal are
+     tolerated (e.g. the paper's append(V, [W|X], [W|Y]) :- append(V, X, Y)):
+     such rules are unsafe for naive bottom-up evaluation — the engine
+     reports this dynamically — but become safe once a magic guard binds
+     the head's variables. *)
+  let missing_head = [] in
+  let missing_neg =
+    List.concat_map
+      (function
+        | Pos _ -> []
+        | Neg a -> List.filter (fun v -> not (List.mem v pos_vars)) (Atom.vars a))
+      r.body
+  in
+  match missing_head, missing_neg with
+  | [], [] -> Ok ()
+  | v :: _, _ ->
+    Error (Fmt.str "head variable %s of %a does not occur in a positive body literal" v
+             Atom.pp r.head)
+  | [], v :: _ ->
+    Error (Fmt.str "variable %s of a negated literal in the rule for %a is not range-restricted"
+             v Atom.pp r.head)
+
+(* Union-find over body atom indices keyed by shared variables. *)
+let connected_components r =
+  let atoms = Array.of_list (body_atoms r) in
+  let n = Array.length atoms in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let by_var = Hashtbl.create 16 in
+  Array.iteri
+    (fun i a ->
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt by_var v with
+          | None -> Hashtbl.add by_var v i
+          | Some j -> union i j)
+        (Atom.vars a))
+    atoms;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i a ->
+      let root = find i in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups root) in
+      Hashtbl.replace groups root (a :: existing))
+    atoms;
+  Hashtbl.fold (fun _ atoms acc -> List.rev atoms :: acc) groups []
+
+let is_connected r =
+  match r.body with
+  | [] -> true
+  | _ ->
+    (* the head joins the component through its variables; by (WF) they all
+       occur in the body, so it suffices that the body is one component or
+       that every component touches a head variable chain.  We check the
+       paper's condition directly: head + body atoms form one component. *)
+    let pseudo = { head = r.head; body = Pos r.head :: r.body } in
+    List.length (connected_components pseudo) = 1
+
+let rename_apart ~suffix r =
+  let f x = x ^ suffix in
+  { head = Atom.rename f r.head; body = List.map (map_literal (Atom.rename f)) r.body }
+
+let apply s r =
+  { head = Atom.apply s r.head; body = List.map (map_literal (Atom.apply s)) r.body }
+
+let equal_literal a b =
+  match a, b with
+  | Pos x, Pos y | Neg x, Neg y -> Atom.equal x y
+  | (Pos _ | Neg _), _ -> false
+
+let equal a b =
+  Atom.equal a.head b.head
+  && List.length a.body = List.length b.body
+  && List.for_all2 equal_literal a.body b.body
+
+let compare_literal a b =
+  match a, b with
+  | Pos x, Pos y | Neg x, Neg y -> Atom.compare x y
+  | Pos _, Neg _ -> -1
+  | Neg _, Pos _ -> 1
+
+let compare a b =
+  let c = Atom.compare a.head b.head in
+  if c <> 0 then c else List.compare compare_literal a.body b.body
+
+let pp_literal ppf = function
+  | Pos a -> Atom.pp ppf a
+  | Neg a -> Fmt.pf ppf "not %a" Atom.pp a
+
+let pp ppf r =
+  match r.body with
+  | [] -> Fmt.pf ppf "%a." Atom.pp r.head
+  | body ->
+    Fmt.pf ppf "%a :- %a." Atom.pp r.head Fmt.(list ~sep:(any ", ") pp_literal) body
+
+let to_string r = Fmt.str "%a" pp r

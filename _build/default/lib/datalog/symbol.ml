@@ -1,0 +1,32 @@
+type t = { name : string; arity : int }
+
+let make name arity =
+  if arity < 0 then invalid_arg "Symbol.make: negative arity";
+  { name; arity }
+
+let equal a b = String.equal a.name b.name && a.arity = b.arity
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else Int.compare a.arity b.arity
+
+let hash a = Hashtbl.hash (a.name, a.arity)
+let pp ppf a = Fmt.pf ppf "%s/%d" a.name a.arity
+let to_string a = Fmt.str "%a" pp a
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,18 @@
+(** Predicate symbols: a name together with an arity.
+
+    Two predicates with the same name but different arities are distinct;
+    the generalized counting transformation in particular produces indexed
+    variants of a predicate with a larger arity. *)
+
+type t = { name : string; arity : int }
+
+val make : string -> int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

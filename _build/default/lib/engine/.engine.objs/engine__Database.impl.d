@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Atom Datalog Fmt List Relation Symbol Term Tuple

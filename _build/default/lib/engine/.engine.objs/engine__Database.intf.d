@@ -1,0 +1,1 @@
+lib/engine/database.mli: Atom Datalog Fmt Relation Symbol Tuple

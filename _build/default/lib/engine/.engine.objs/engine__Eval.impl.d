@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Atom Database Datalog Int List Option Program Relation Rule Solve Stats Subst Symbol Term Tuple

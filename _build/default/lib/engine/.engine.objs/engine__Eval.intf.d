@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Atom Database Datalog Program Stats Tuple

@@ -1,0 +1,1 @@
+lib/engine/explain.ml: Array Atom Database Datalog Fmt List Program Relation Rule Solve String Subst Symbol Term Tuple

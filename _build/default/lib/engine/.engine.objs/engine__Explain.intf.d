@@ -1,0 +1,1 @@
+lib/engine/explain.mli: Atom Database Datalog Fmt Program Rule

@@ -1,0 +1,1 @@
+lib/engine/solve.ml: Array Atom Datalog Fmt List Relation Rule Stats Subst Symbol Term Tuple

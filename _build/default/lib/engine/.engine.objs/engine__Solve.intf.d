@@ -1,0 +1,1 @@
+lib/engine/solve.mli: Atom Datalog Relation Rule Stats Subst Symbol

@@ -1,0 +1,1 @@
+lib/engine/topdown.ml: Array Atom Database Datalog Fmt Hashtbl List Map Option Program Relation Rule Solve Stats Subst Symbol Term Tuple

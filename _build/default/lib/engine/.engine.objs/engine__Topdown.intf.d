@@ -1,0 +1,1 @@
+lib/engine/topdown.mli: Atom Database Datalog Program Stats Tuple

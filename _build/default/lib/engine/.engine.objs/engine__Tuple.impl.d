@@ -1,0 +1,1 @@
+lib/engine/tuple.ml: Array Datalog Fmt Hashtbl Int List Set Term

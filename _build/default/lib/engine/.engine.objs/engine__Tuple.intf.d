@@ -1,0 +1,1 @@
+lib/engine/tuple.mli: Datalog Fmt Hashtbl Set

@@ -1,0 +1,64 @@
+open Datalog
+
+type t = Relation.t Symbol.Tbl.t
+
+let create () = Symbol.Tbl.create 32
+
+let relation db sym =
+  match Symbol.Tbl.find_opt db sym with
+  | Some r -> r
+  | None ->
+    let r = Relation.create sym.Symbol.arity in
+    Symbol.Tbl.replace db sym r;
+    r
+
+let find db sym = Symbol.Tbl.find_opt db sym
+
+let add_tuple db sym t = Relation.add (relation db sym) t
+
+let add_fact db a =
+  if not (Atom.is_ground a) then
+    invalid_arg (Fmt.str "Database.add_fact: non-ground atom %a" Atom.pp a);
+  add_tuple db (Atom.symbol a)
+    (Array.of_list (List.map Term.eval a.Atom.args))
+
+let mem db a =
+  match find db (Atom.symbol a) with
+  | None -> false
+  | Some r -> Relation.mem r (Array.of_list (List.map Term.eval a.Atom.args))
+
+let of_facts facts =
+  let db = create () in
+  List.iter (fun a -> ignore (add_fact db a)) facts;
+  db
+
+let facts db sym =
+  match find db sym with
+  | None -> []
+  | Some r ->
+    Relation.fold (fun t acc -> Atom.make sym.Symbol.name (Tuple.to_list t) :: acc) r []
+
+let symbols db =
+  Symbol.Tbl.fold (fun sym _ acc -> sym :: acc) db [] |> List.sort Symbol.compare
+
+let all_facts db = List.concat_map (facts db) (symbols db)
+
+let cardinal db sym = match find db sym with None -> 0 | Some r -> Relation.cardinal r
+
+let total db = Symbol.Tbl.fold (fun _ r acc -> acc + Relation.cardinal r) db 0
+
+let copy db =
+  let db' = create () in
+  Symbol.Tbl.iter (fun sym r -> Symbol.Tbl.replace db' sym (Relation.copy r)) db;
+  db'
+
+let merge_into ~dst ~src =
+  Symbol.Tbl.iter
+    (fun sym r -> Relation.iter (fun t -> ignore (add_tuple dst sym t)) r)
+    src
+
+let pp ppf db =
+  let pp_rel ppf sym =
+    Fmt.pf ppf "%a: %a" Symbol.pp sym Relation.pp (relation db sym)
+  in
+  Fmt.pf ppf "%a" (Fmt.list ~sep:(Fmt.any "@\n") pp_rel) (symbols db)

@@ -1,0 +1,178 @@
+open Datalog
+
+type outcome = { db : Database.t; stats : Stats.t; diverged : bool }
+
+type budget = { mutable left_iterations : int; mutable left_facts : int }
+
+exception Budget_exhausted
+(* raised from inside a round as soon as the fact budget hits zero, so that
+   combinatorially exploding programs (e.g. counting over cyclic data) are
+   cut off promptly rather than at the next round boundary *)
+
+let make_budget ?max_iterations ?max_facts () =
+  {
+    left_iterations = Option.value ~default:max_int max_iterations;
+    left_facts = Option.value ~default:max_int max_facts;
+  }
+
+let spend_fact budget =
+  budget.left_facts <- budget.left_facts - 1;
+  if budget.left_facts <= 0 then raise Budget_exhausted
+
+(* Group the program's rules by stratum; within a stratum both engines run
+   a fixpoint.  Positive programs have a single stratum. *)
+let strata program =
+  match Program.stratify program with
+  | Error e -> invalid_arg ("Eval: " ^ e)
+  | Ok stratum_of ->
+    let rules = Program.rules program in
+    let levels =
+      List.sort_uniq Int.compare
+        (List.map (fun r -> stratum_of (Atom.symbol r.Rule.head)) rules)
+    in
+    List.map
+      (fun level ->
+        List.filter (fun r -> stratum_of (Atom.symbol r.Rule.head) = level) rules)
+      levels
+
+let full_source db sym = Database.find db sym
+
+(* One naive round: fire all rules against the full database.  Returns the
+   number of new facts. *)
+let naive_round ~stats ~budget db rules =
+  let added = ref 0 in
+  List.iter
+    (fun rule ->
+      Solve.fire_rule ~stats ~source:(fun _ -> full_source db)
+        ~neg_source:(full_source db)
+        ~on_fact:(fun head ->
+          let sym = Atom.symbol head in
+          let is_new = Database.add_fact db head in
+          Stats.record_fact stats sym ~is_new;
+          if is_new then begin
+            incr added;
+            spend_fact budget
+          end)
+        rule)
+    rules;
+  !added
+
+let run_stratum_naive ~stats ~budget db rules =
+  let continue = ref true in
+  let diverged = ref false in
+  while !continue do
+    if budget.left_iterations <= 0 || budget.left_facts <= 0 then begin
+      diverged := true;
+      continue := false
+    end
+    else begin
+      budget.left_iterations <- budget.left_iterations - 1;
+      stats.Stats.iterations <- stats.Stats.iterations + 1;
+      let added = naive_round ~stats ~budget db rules in
+      if added = 0 then continue := false
+    end
+  done;
+  !diverged
+
+(* Semi-naive: [delta] holds the facts derived in the previous round.  For
+   each rule and each derived positive body literal position, evaluate with
+   that literal reading [delta] and every other literal reading the full
+   database.  Rules without derived body literals fire only in round 0. *)
+let run_stratum_seminaive ~stats ~budget ~derived db rules =
+  (* positions of derived positive body literals, per rule *)
+  let positions_of rule =
+    List.filter_map
+      (fun (i, lit) ->
+        match lit with
+        | Rule.Pos a when (not (Atom.is_builtin a)) && Symbol.Set.mem (Atom.symbol a) derived
+          ->
+          Some i
+        | Rule.Pos _ | Rule.Neg _ -> None)
+      (List.mapi (fun i lit -> (i, lit)) rule.Rule.body)
+  in
+  let round_facts = Database.create () in
+  let record head =
+    let sym = Atom.symbol head in
+    let is_new = (not (Database.mem db head)) && Database.add_fact round_facts head in
+    Stats.record_fact stats sym ~is_new;
+    if is_new then spend_fact budget
+  in
+  (* round 0: all rules fire against the database as-is (delta = EDB) *)
+  stats.Stats.iterations <- stats.Stats.iterations + 1;
+  budget.left_iterations <- budget.left_iterations - 1;
+  List.iter
+    (fun rule ->
+      Solve.fire_rule ~stats ~source:(fun _ -> full_source db)
+        ~neg_source:(full_source db) ~on_fact:record rule)
+    rules;
+  Database.merge_into ~dst:db ~src:round_facts;
+  let delta = ref round_facts in
+  let diverged = ref false in
+  let continue = ref (Database.total !delta > 0) in
+  while !continue do
+    if budget.left_iterations <= 0 || budget.left_facts <= 0 then begin
+      diverged := true;
+      continue := false
+    end
+    else begin
+      budget.left_iterations <- budget.left_iterations - 1;
+      stats.Stats.iterations <- stats.Stats.iterations + 1;
+      let next = Database.create () in
+      let record head =
+        let sym = Atom.symbol head in
+        let is_new = (not (Database.mem db head)) && Database.add_fact next head in
+        Stats.record_fact stats sym ~is_new;
+        if is_new then spend_fact budget
+      in
+      List.iter
+        (fun rule ->
+          List.iter
+            (fun dpos ->
+              let source i sym =
+                if i = dpos then Database.find !delta sym else Database.find db sym
+              in
+              Solve.fire_rule ~stats ~source ~neg_source:(full_source db)
+                ~on_fact:record rule)
+            (positions_of rule))
+        rules;
+      Database.merge_into ~dst:db ~src:next;
+      delta := next;
+      if Database.total !delta = 0 then continue := false
+    end
+  done;
+  !diverged
+
+let answers outcome query =
+  match Database.find outcome.db (Atom.symbol query) with
+  | None -> []
+  | Some rel ->
+    let matches t =
+      Option.is_some (Subst.match_list query.Atom.args (Tuple.to_list t) Subst.empty)
+    in
+    List.sort Tuple.compare (List.filter matches (Relation.to_list rel))
+
+let run ~engine ?max_iterations ?max_facts program ~edb =
+  let stats = Stats.create () in
+  let budget = make_budget ?max_iterations ?max_facts () in
+  let db = Database.copy edb in
+  let derived = Program.derived program in
+  let diverged =
+    List.fold_left
+      (fun div rules ->
+        let d =
+          try
+            match engine with
+            | `Naive -> run_stratum_naive ~stats ~budget db rules
+            | `Seminaive -> run_stratum_seminaive ~stats ~budget ~derived db rules
+          with Budget_exhausted | Term.Arithmetic_overflow -> true
+        in
+        div || d)
+      false (strata program)
+  in
+  { db; stats; diverged }
+
+let naive ?max_iterations ?max_facts program ~edb =
+  run ~engine:`Naive ?max_iterations ?max_facts program ~edb
+
+let seminaive ?max_iterations ?max_facts program ~edb =
+  run ~engine:`Seminaive ?max_iterations ?max_facts program ~edb

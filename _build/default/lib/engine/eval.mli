@@ -1,0 +1,32 @@
+(** Bottom-up fixpoint evaluation: naive and semi-naive, stratified.
+
+    Both evaluators implement the least-fixpoint semantics the paper takes
+    as its baseline (Section 1.1): starting from the extensional database,
+    derived facts are accumulated in rounds until nothing new is produced.
+    Programs with negation are evaluated stratum by stratum.
+
+    Divergent programs (e.g. generalized counting over cyclic data,
+    Theorem 10.3) are cut off by optional iteration/fact budgets and
+    reported as diverged rather than looping forever. *)
+
+open Datalog
+
+type outcome = {
+  db : Database.t;  (** EDB plus all derived facts *)
+  stats : Stats.t;
+  diverged : bool;  (** true iff a budget was exhausted *)
+}
+
+val naive :
+  ?max_iterations:int -> ?max_facts:int -> Program.t -> edb:Database.t -> outcome
+(** Naive evaluation: every rule is re-evaluated against the whole database
+    in every round. *)
+
+val seminaive :
+  ?max_iterations:int -> ?max_facts:int -> Program.t -> edb:Database.t -> outcome
+(** Semi-naive evaluation: in each round after the first, a rule instance
+    must use at least one fact derived in the previous round. *)
+
+val answers : outcome -> Atom.t -> Tuple.t list
+(** Tuples of the query's predicate matching the query atom's constant
+    arguments, sorted. *)

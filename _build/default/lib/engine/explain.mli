@@ -1,0 +1,43 @@
+(** Derivation trees (Section 1.1 of the paper).
+
+    For each fact in a derived predicate there exists a finite derivation
+    tree: the fact at the root, base facts at the leaves, and each
+    internal node labeled by a rule that generates its fact from its
+    children.  [derive] reconstructs such a tree from a completed
+    bottom-up evaluation: the facts are first ranked by the round in
+    which a replayed naive evaluation derives them, and the tree is then
+    built with premises of strictly smaller rank — such premises always
+    exist by construction, so reconstruction is well-founded even on
+    cyclic data and never backtracks over cyclic support.
+
+    Useful for debugging rewritten programs: explaining a magic fact shows
+    exactly which sip passes produced a subquery. *)
+
+open Datalog
+
+type t =
+  | Leaf of Atom.t  (** a base (extensional) fact, or a builtin that held *)
+  | Node of { fact : Atom.t; rule : Rule.t; premises : t list }
+      (** [fact] derived by instantiating [rule] with children [premises]
+          (one per body literal, negated literals explained as leaves) *)
+
+val fact : t -> Atom.t
+
+val derive : Program.t -> Database.t -> Atom.t -> t option
+(** [derive program db fact] is a derivation tree for [fact] over [db]
+    (which must contain the completed evaluation, e.g.
+    {!Eval.outcome}[.db]), or [None] if the fact does not hold or no
+    well-founded derivation exists. *)
+
+val depth : t -> int
+(** Height of the tree; a leaf has depth 1 (the paper's convention). *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val check : Program.t -> Database.t -> t -> bool
+(** Validate a tree: every node's rule instance actually fires from its
+    children, every leaf is a database fact or a holding builtin. *)
+
+val pp : t Fmt.t
+(** Indented rendering, one fact per line. *)

@@ -1,0 +1,71 @@
+type index = Tuple.t list Tuple.Tbl.t
+
+type t = {
+  arity : int;
+  tuples : unit Tuple.Tbl.t;
+  mutable indexes : (bool array * index) list;
+}
+
+let create arity = { arity; tuples = Tuple.Tbl.create 64; indexes = [] }
+let arity r = r.arity
+let cardinal r = Tuple.Tbl.length r.tuples
+let mem r t = Tuple.Tbl.mem r.tuples t
+
+let bound_positions pattern =
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b then acc := i :: !acc) pattern;
+  List.rev !acc
+
+let index_add idx positions t =
+  let key = Tuple.project positions t in
+  let existing = Option.value ~default:[] (Tuple.Tbl.find_opt idx key) in
+  Tuple.Tbl.replace idx key (t :: existing)
+
+let add r t =
+  if Array.length t <> r.arity then
+    invalid_arg
+      (Fmt.str "Relation.add: tuple %a has arity %d, expected %d" Tuple.pp t
+         (Array.length t) r.arity);
+  if Tuple.Tbl.mem r.tuples t then false
+  else begin
+    Tuple.Tbl.replace r.tuples t ();
+    List.iter (fun (pattern, idx) -> index_add idx (bound_positions pattern) t) r.indexes;
+    true
+  end
+
+let iter f r = Tuple.Tbl.iter (fun t () -> f t) r.tuples
+let fold f r init = Tuple.Tbl.fold (fun t () acc -> f t acc) r.tuples init
+let to_list r = fold List.cons r []
+
+let pattern_equal a b = Array.length a = Array.length b && Array.for_all2 Bool.equal a b
+
+let ensure_index r pattern =
+  match List.find_opt (fun (p, _) -> pattern_equal p pattern) r.indexes with
+  | Some (_, idx) -> idx
+  | None ->
+    let idx = Tuple.Tbl.create 64 in
+    let positions = bound_positions pattern in
+    iter (fun t -> index_add idx positions t) r;
+    r.indexes <- (pattern, idx) :: r.indexes;
+    idx
+
+let lookup r ~pattern ~key =
+  if Array.length pattern <> r.arity then
+    invalid_arg "Relation.lookup: pattern arity mismatch";
+  if Array.for_all not pattern then to_list r
+  else
+    let idx = ensure_index r pattern in
+    Option.value ~default:[] (Tuple.Tbl.find_opt idx key)
+
+let copy r =
+  let r' = create r.arity in
+  iter (fun t -> ignore (add r' t)) r;
+  r'
+
+let clear r =
+  Tuple.Tbl.reset r.tuples;
+  r.indexes <- []
+
+let pp ppf r =
+  let items = List.sort Tuple.compare (to_list r) in
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any "; ") Tuple.pp) items

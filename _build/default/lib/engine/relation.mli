@@ -1,0 +1,31 @@
+(** Mutable relations: sets of ground tuples of a fixed arity, with hash
+    indexes built on demand for each binding pattern used by a lookup.
+
+    An index for pattern [p] (a boolean array, [true] = bound position)
+    maps the projection of a tuple on the bound positions to the tuples
+    with that projection; it is kept up to date by subsequent inserts. *)
+
+type t
+
+val create : int -> t
+(** [create arity] is a fresh empty relation. *)
+
+val arity : t -> int
+val cardinal : t -> int
+
+val add : t -> Tuple.t -> bool
+(** Insert; returns [true] iff the tuple is new. *)
+
+val mem : t -> Tuple.t -> bool
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+
+val lookup : t -> pattern:bool array -> key:Tuple.t -> Tuple.t list
+(** Tuples whose projection on the [true] positions of [pattern] equals
+    [key] (which has one entry per bound position, in order).  An
+    all-false pattern enumerates the relation. *)
+
+val copy : t -> t
+val clear : t -> unit
+val pp : t Fmt.t

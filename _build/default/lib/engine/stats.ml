@@ -1,0 +1,54 @@
+open Datalog
+
+type t = {
+  mutable iterations : int;
+  mutable firings : int;
+  mutable facts : int;
+  mutable rederivations : int;
+  mutable probes : int;
+  mutable subqueries : int;
+  per_pred : int Symbol.Tbl.t;
+}
+
+let create () =
+  {
+    iterations = 0;
+    firings = 0;
+    facts = 0;
+    rederivations = 0;
+    probes = 0;
+    subqueries = 0;
+    per_pred = Symbol.Tbl.create 16;
+  }
+
+let record_fact s sym ~is_new =
+  s.firings <- s.firings + 1;
+  if is_new then begin
+    s.facts <- s.facts + 1;
+    let n = Option.value ~default:0 (Symbol.Tbl.find_opt s.per_pred sym) in
+    Symbol.Tbl.replace s.per_pred sym (n + 1)
+  end
+  else s.rederivations <- s.rederivations + 1
+
+let facts_for s sym = Option.value ~default:0 (Symbol.Tbl.find_opt s.per_pred sym)
+
+let merge a b =
+  let m = create () in
+  m.iterations <- a.iterations + b.iterations;
+  m.firings <- a.firings + b.firings;
+  m.facts <- a.facts + b.facts;
+  m.rederivations <- a.rederivations + b.rederivations;
+  m.probes <- a.probes + b.probes;
+  m.subqueries <- a.subqueries + b.subqueries;
+  Symbol.Tbl.iter (fun sym n -> Symbol.Tbl.replace m.per_pred sym n) a.per_pred;
+  Symbol.Tbl.iter
+    (fun sym n ->
+      let existing = Option.value ~default:0 (Symbol.Tbl.find_opt m.per_pred sym) in
+      Symbol.Tbl.replace m.per_pred sym (existing + n))
+    b.per_pred;
+  m
+
+let pp ppf s =
+  Fmt.pf ppf
+    "iterations=%d firings=%d facts=%d rederivations=%d probes=%d subqueries=%d"
+    s.iterations s.firings s.facts s.rederivations s.probes s.subqueries

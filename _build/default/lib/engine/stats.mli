@@ -1,0 +1,24 @@
+(** Evaluation statistics.
+
+    The paper's comparisons (Sections 9 and 11, and the performance study
+    it cites) are in terms of the number of facts inferred, the number of
+    rule firings and the number of subqueries generated; the engine counts
+    all of these. *)
+
+open Datalog
+
+type t = {
+  mutable iterations : int;  (** fixpoint rounds *)
+  mutable firings : int;  (** successful rule instantiations *)
+  mutable facts : int;  (** distinct facts first derived *)
+  mutable rederivations : int;  (** firings that produced an already-known fact *)
+  mutable probes : int;  (** body-literal match attempts (join probes) *)
+  mutable subqueries : int;  (** top-down only: distinct subgoals *)
+  per_pred : int Symbol.Tbl.t;  (** distinct facts per predicate *)
+}
+
+val create : unit -> t
+val record_fact : t -> Symbol.t -> is_new:bool -> unit
+val facts_for : t -> Symbol.t -> int
+val merge : t -> t -> t
+val pp : t Fmt.t

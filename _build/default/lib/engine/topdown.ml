@@ -1,0 +1,203 @@
+open Datalog
+
+type result = { answers : Tuple.t list; stats : Stats.t; complete : bool }
+
+let fresh_counter = ref 0
+
+let rename_rule r =
+  incr fresh_counter;
+  Rule.rename_apart ~suffix:(Fmt.str "~%d" !fresh_counter) r
+
+(* ------------------------------------------------------------------ *)
+(* Plain SLD resolution                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sld ?(max_depth = 10_000) program ~edb query =
+  let stats = Stats.create () in
+  let derived = Program.derived program in
+  let truncated = ref false in
+  let answers = ref Tuple.Set.empty in
+  let edb_source sym = Database.find edb sym in
+  let rec solve goals subst depth k =
+    match goals with
+    | [] -> k subst
+    | Rule.Pos g :: rest when Atom.is_builtin g ->
+      Solve.eval_builtin g subst (fun s -> solve rest s depth k)
+    | Rule.Pos g :: rest ->
+      if Symbol.Set.mem (Atom.symbol g) derived then begin
+        if depth <= 0 then truncated := true
+        else begin
+          stats.Stats.subqueries <- stats.Stats.subqueries + 1;
+          List.iter
+            (fun (_, rule) ->
+              let rule = rename_rule rule in
+              stats.Stats.probes <- stats.Stats.probes + 1;
+              match Atom.unify rule.Rule.head (Atom.apply subst g) subst with
+              | None -> ()
+              | Some subst' -> solve (rule.Rule.body @ rest) subst' (depth - 1) k)
+            (Program.rules_for program (Atom.symbol g))
+        end
+      end
+      else
+        List.iter
+          (fun s -> solve rest s depth k)
+          (Solve.match_against ~stats edb_source (Atom.apply_deep_eval subst g) subst)
+    | Rule.Neg g :: rest ->
+      let a = Atom.apply_deep_eval subst g in
+      if not (Atom.is_ground a) then
+        raise (Solve.Unsafe (Fmt.str "negated literal %a not ground" Atom.pp a))
+      else begin
+        let found = ref false in
+        solve [ Rule.Pos a ] subst depth (fun _ -> found := true);
+        if not !found then solve rest subst depth k
+      end
+  in
+  solve [ Rule.Pos query ] Subst.empty max_depth (fun subst ->
+      let a = Atom.apply_deep_eval subst query in
+      if Atom.is_ground a then begin
+        let t = Array.of_list a.Atom.args in
+        if not (Tuple.Set.mem t !answers) then begin
+          answers := Tuple.Set.add t !answers;
+          Stats.record_fact stats (Atom.symbol query) ~is_new:true
+        end
+      end);
+  {
+    answers = Tuple.Set.elements !answers;
+    stats;
+    complete = not !truncated;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Extension-table (tabled) evaluation                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A call key is the called atom with its variables canonically renamed,
+   so that calls equal up to renaming share a table entry. *)
+let call_key atom =
+  let seen = Hashtbl.create 8 in
+  let next = ref 0 in
+  let canon t =
+    Term.map_vars
+      (fun x ->
+        match Hashtbl.find_opt seen x with
+        | Some v -> Term.Var v
+        | None ->
+          let v = Fmt.str "_%d" !next in
+          incr next;
+          Hashtbl.add seen x v;
+          Term.Var v)
+      t
+  in
+  { atom with Atom.args = List.map canon atom.Atom.args }
+
+module CallMap = Map.Make (struct
+  type t = Atom.t
+
+  let compare = Atom.compare
+end)
+
+let tabled ?(max_passes = 1_000_000) program ~edb query =
+  let stats = Stats.create () in
+  let derived = Program.derived program in
+  let edb_source sym = Database.find edb sym in
+  let table : Tuple.Set.t ref CallMap.t ref = ref CallMap.empty in
+  let changed = ref true in
+  let register atom =
+    let key = call_key atom in
+    match CallMap.find_opt key !table with
+    | Some answers -> answers
+    | None ->
+      stats.Stats.subqueries <- stats.Stats.subqueries + 1;
+      let answers = ref Tuple.Set.empty in
+      table := CallMap.add key answers !table;
+      changed := true;
+      answers
+  in
+  let add_answer call_answers sym tuple =
+    if not (Tuple.Set.mem tuple !call_answers) then begin
+      call_answers := Tuple.Set.add tuple !call_answers;
+      Stats.record_fact stats sym ~is_new:true;
+      changed := true
+    end
+    else Stats.record_fact stats sym ~is_new:false
+  in
+  (* evaluate the body of [rule] for call [g]; answers already in the table
+     are used for derived subgoals, and new subgoals are registered so that
+     the next pass evaluates them. *)
+  let eval_call key answers =
+    List.iter
+      (fun (_, rule) ->
+        let rule = rename_rule rule in
+        stats.Stats.probes <- stats.Stats.probes + 1;
+        match Atom.unify rule.Rule.head key Subst.empty with
+        | None -> ()
+        | Some subst ->
+          let rec go lits subst =
+            match lits with
+            | [] ->
+              let head = Atom.apply_deep_eval subst key in
+              if Atom.is_ground head then
+                add_answer answers (Atom.symbol key) (Array.of_list head.Atom.args)
+            | Rule.Pos g :: rest when Atom.is_builtin g ->
+              Solve.eval_builtin g subst (fun s -> go rest s)
+            | Rule.Pos g :: rest ->
+              if Symbol.Set.mem (Atom.symbol g) derived then begin
+                let inst = Atom.apply_deep_eval subst g in
+                let sub_answers = register inst in
+                Tuple.Set.iter
+                  (fun t ->
+                    stats.Stats.probes <- stats.Stats.probes + 1;
+                    match Subst.match_list
+                            (List.map (fun u -> Term.eval (Subst.apply_deep subst u))
+                               g.Atom.args)
+                            (Tuple.to_list t) subst
+                    with
+                    | Some s -> go rest s
+                    | None -> ())
+                  !sub_answers
+              end
+              else
+                List.iter
+                  (fun s -> go rest s)
+                  (Solve.match_against ~stats edb_source g subst)
+            | Rule.Neg g :: rest ->
+              let a = Atom.apply_deep_eval subst g in
+              if not (Atom.is_ground a) then
+                raise (Solve.Unsafe (Fmt.str "negated literal %a not ground" Atom.pp a))
+              else begin
+                let holds =
+                  if Symbol.Set.mem (Atom.symbol a) derived then
+                    Tuple.Set.mem (Array.of_list a.Atom.args) !(register a)
+                  else
+                    match edb_source (Atom.symbol a) with
+                    | None -> false
+                    | Some rel -> Relation.mem rel (Array.of_list a.Atom.args)
+                in
+                if not holds then go rest subst
+              end
+          in
+          go rule.Rule.body subst)
+      (Program.rules_for program (Atom.symbol key))
+  in
+  let root = register query in
+  let passes = ref 0 in
+  let complete = ref true in
+  while !changed do
+    changed := false;
+    incr passes;
+    stats.Stats.iterations <- stats.Stats.iterations + 1;
+    if !passes > max_passes then begin
+      complete := false;
+      changed := false
+    end
+    else CallMap.iter (fun key answers -> eval_call key answers) !table
+  done;
+  (* project the root call's answers through the query's constants *)
+  let matches t =
+    Option.is_some (Subst.match_list query.Atom.args (Tuple.to_list t) Subst.empty)
+  in
+  {
+    answers = List.filter matches (Tuple.Set.elements !root);
+    stats;
+    complete = !complete;
+  }

@@ -1,0 +1,29 @@
+(** Top-down evaluation baselines.
+
+    [sld] is plain SLD resolution with a leftmost selection rule, as in
+    PROLOG — the control strategy the paper contrasts with bottom-up
+    evaluation.  It loops on left-recursive programs, so a depth bound
+    truncates the search and the result is flagged incomplete when the
+    bound was hit.
+
+    [tabled] memoizes subgoals in extension tables (Dietrich & Warren
+    [25], the paper's reference for memoing top-down methods) and iterates
+    to a fixpoint; on Datalog it terminates and is complete, and it is a
+    member of the paper's class of sip strategies (for the full
+    left-to-right sip). *)
+
+open Datalog
+
+type result = {
+  answers : Tuple.t list;  (** full argument tuples of query-matching facts *)
+  stats : Stats.t;
+  complete : bool;  (** false if a budget/depth bound truncated the search *)
+}
+
+val sld : ?max_depth:int -> Program.t -> edb:Database.t -> Atom.t -> result
+(** Depth-bounded SLD resolution; [max_depth] defaults to 10_000 resolution
+    steps per branch. *)
+
+val tabled : ?max_passes:int -> Program.t -> edb:Database.t -> Atom.t -> result
+(** Extension-table evaluation; [stats.subqueries] is the number of
+    distinct tabled calls. *)

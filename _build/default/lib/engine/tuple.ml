@@ -1,0 +1,55 @@
+open Datalog
+
+type t = Term.t array
+
+let of_list ts =
+  List.iter
+    (fun t -> if not (Term.is_ground t) then invalid_arg "Tuple.of_list: non-ground term")
+    ts;
+  Array.of_list ts
+
+let to_list = Array.to_list
+let arity = Array.length
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (Term.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = Term.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash a = Array.fold_left (fun h t -> (h * 31) + Term.hash t) 17 a
+
+let project positions t = Array.of_list (List.map (fun i -> t.(i)) positions)
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") Term.pp) (Array.to_list t)
+
+let to_string t = Fmt.str "%a" pp t
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Tbl = Hashtbl.Make (Hashed)
+module Set = Set.Make (Ord)

@@ -1,0 +1,21 @@
+(** Ground tuples: the rows of extensional and intensional relations. *)
+
+type t = Datalog.Term.t array
+
+val of_list : Datalog.Term.t list -> t
+(** @raise Invalid_argument if any term is non-ground. *)
+
+val to_list : t -> Datalog.Term.t list
+val arity : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val project : int list -> t -> t
+(** [project positions t] keeps the given 0-based positions, in order. *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t

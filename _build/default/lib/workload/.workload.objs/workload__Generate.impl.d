@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Atom Datalog Engine Fmt Hashtbl Int64 List Term

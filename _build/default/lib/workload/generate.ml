@@ -1,0 +1,82 @@
+open Datalog
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (seed * 2 + 1) }
+
+(* Numerical Recipes LCG; deterministic across platforms. *)
+let next r ~bound =
+  r.state <-
+    Int64.add (Int64.mul r.state 6364136223846793005L) 1442695040888963407L;
+  let x = Int64.to_int (Int64.shift_right_logical r.state 17) in
+  (x land max_int) mod bound
+
+let node prefix i = Term.Sym (Fmt.str "%s_%d" prefix i)
+
+let chain ?(pred = "edge") ?(prefix = "n") n =
+  List.init n (fun i -> Atom.make pred [ node prefix i; node prefix (i + 1) ])
+
+let cycle ?(pred = "edge") ?(prefix = "n") n =
+  List.init n (fun i -> Atom.make pred [ node prefix i; node prefix ((i + 1) mod n) ])
+
+let tree ?(pred = "edge") ?(prefix = "n") ~branching ~depth () =
+  (* node k has children k*branching + 1 .. k*branching + branching,
+     breadth-first numbering of the complete tree *)
+  let rec total d = if d = 0 then 1 else 1 + (branching * total (d - 1)) in
+  ignore total;
+  let facts = ref [] in
+  let rec go k d =
+    if d < depth then
+      for c = 1 to branching do
+        let child = (k * branching) + c in
+        facts := Atom.make pred [ node prefix k; node prefix child ] :: !facts;
+        go child (d + 1)
+      done
+  in
+  go 0 0;
+  List.rev !facts
+
+let random_graph ?(pred = "edge") ?(prefix = "n") ~nodes ~edges ~seed () =
+  if nodes < 2 then invalid_arg "Generate.random_graph: need at least 2 nodes";
+  let r = rng seed in
+  let seen = Hashtbl.create (2 * edges) in
+  let rec pick k acc =
+    if k = 0 then acc
+    else begin
+      let a = next r ~bound:nodes in
+      let b = next r ~bound:nodes in
+      if a = b || Hashtbl.mem seen (a, b) then pick k acc
+      else begin
+        Hashtbl.add seen (a, b) ();
+        pick (k - 1) (Atom.make pred [ node prefix a; node prefix b ] :: acc)
+      end
+    end
+  in
+  let max_edges = nodes * (nodes - 1) in
+  List.rev (pick (min edges max_edges) [])
+
+let same_generation ~width ~height =
+  (* a width x (height+1) grid: "up" climbs a tower, "down" descends it,
+     and "flat" links horizontally adjacent nodes at every level; two
+     nodes are in the same generation iff they are at the same level *)
+  let n t l = Term.Sym (Fmt.str "sg_%d_%d" t l) in
+  let ups =
+    List.concat
+      (List.init width (fun t ->
+           List.init height (fun l -> Atom.make "up" [ n t l; n t (l + 1) ])))
+  in
+  let downs =
+    List.concat
+      (List.init width (fun t ->
+           List.init height (fun l -> Atom.make "down" [ n t (l + 1); n t l ])))
+  in
+  let flats =
+    List.concat
+      (List.init (max 0 (width - 1)) (fun t ->
+           List.init (height + 1) (fun l -> Atom.make "flat" [ n t l; n (t + 1) l ])))
+  in
+  ups @ flats @ downs
+
+let list_of_ints n = Term.list (List.init n (fun i -> Term.Int i))
+
+let db facts = Engine.Database.of_facts facts

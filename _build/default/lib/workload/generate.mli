@@ -1,0 +1,44 @@
+(** Deterministic synthetic workload generators.
+
+    The paper reports no datasets; these generators produce the standard
+    extensional databases used in the recursive-query literature (chains,
+    cycles, trees, random graphs, up/flat/down same-generation data,
+    lists), deterministically from an explicit seed — no global random
+    state. *)
+
+open Datalog
+
+type rng
+
+val rng : int -> rng
+(** Linear congruential generator with the given seed. *)
+
+val next : rng -> bound:int -> int
+(** Uniform-ish integer in [0, bound). *)
+
+val node : string -> int -> Term.t
+(** [node prefix i] is the constant [prefix_i]. *)
+
+val chain : ?pred:string -> ?prefix:string -> int -> Atom.t list
+(** [chain n]: facts [p(x_0, x_1) ... p(x_{n-1}, x_n)]. *)
+
+val cycle : ?pred:string -> ?prefix:string -> int -> Atom.t list
+(** Like {!chain} with a closing edge back to [x_0]. *)
+
+val tree : ?pred:string -> ?prefix:string -> branching:int -> depth:int -> unit -> Atom.t list
+(** Complete tree edges parent -> child. *)
+
+val random_graph :
+  ?pred:string -> ?prefix:string -> nodes:int -> edges:int -> seed:int -> unit -> Atom.t list
+(** [edges] distinct directed edges over [nodes] vertices (no self-loops),
+    deterministic in [seed]. *)
+
+val same_generation : width:int -> height:int -> Atom.t list
+(** The up/flat/down data of the same-generation benchmarks: [width]
+    towers of [height] "up" edges, "flat" edges linking adjacent towers
+    at the top, and matching "down" edges. *)
+
+val list_of_ints : int -> Term.t
+(** The term [[0, 1, ..., n-1]]. *)
+
+val db : Atom.t list -> Engine.Database.t

@@ -1,0 +1,38 @@
+open Datalog
+
+let parse src = fst (Parser.parse_program src)
+
+let ancestor = parse "a(X,Y) :- p(X,Y). a(X,Y) :- p(X,Z), a(Z,Y)."
+
+let ancestor_query c = Atom.make "a" [ c; Term.Var "Ans" ]
+
+let nonlinear_ancestor = parse "a(X,Y) :- p(X,Y). a(X,Y) :- a(X,Z), a(Z,Y)."
+
+let nested_same_generation =
+  parse
+    "p(X,Y) :- b1(X,Y).\n\
+     p(X,Y) :- sg(X,Z1), p(Z1,Z2), b2(Z2,Y).\n\
+     sg(X,Y) :- flat(X,Y).\n\
+     sg(X,Y) :- up(X,Z1), sg(Z1,Z2), down(Z2,Y)."
+
+let nested_same_generation_query c = Atom.make "p" [ c; Term.Var "Ans" ]
+
+let nonlinear_same_generation =
+  parse
+    "sg(X,Y) :- flat(X,Y).\n\
+     sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y)."
+
+let same_generation_query c = Atom.make "sg" [ c; Term.Var "Ans" ]
+
+let list_reverse =
+  parse
+    "append(V, [], [V]).\n\
+     append(V, [W|X], [W|Y]) :- append(V, X, Y).\n\
+     reverse([], []).\n\
+     reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y)."
+
+let reverse_query l = Atom.make "reverse" [ l; Term.Var "Ans" ]
+
+let transitive_closure = parse "tc(X,Y) :- edge(X,Y). tc(X,Y) :- edge(X,Z), tc(Z,Y)."
+
+let tc_query c = Atom.make "tc" [ c; Term.Var "Ans" ]

@@ -1,0 +1,38 @@
+(** The paper's canonical program-query pairs (Appendix A.1), as parsed
+    programs plus query constructors, shared by the examples, the test
+    suite and the bench harness. *)
+
+open Datalog
+
+val ancestor : Program.t
+(** [a(X,Y) :- p(X,Y).  a(X,Y) :- p(X,Z), a(Z,Y).] *)
+
+val ancestor_query : Term.t -> Atom.t
+(** [a(c, ?)] *)
+
+val nonlinear_ancestor : Program.t
+(** [a(X,Y) :- p(X,Y).  a(X,Y) :- a(X,Z), a(Z,Y).] *)
+
+val nested_same_generation : Program.t
+(** The four-rule nested same-generation program of A.1(3). *)
+
+val nested_same_generation_query : Term.t -> Atom.t
+(** [p(c, ?)] *)
+
+val nonlinear_same_generation : Program.t
+(** The two-rule nonlinear same-generation program of Example 1. *)
+
+val same_generation_query : Term.t -> Atom.t
+(** [sg(c, ?)] *)
+
+val list_reverse : Program.t
+(** append/reverse with list terms, A.1(4). *)
+
+val reverse_query : Term.t -> Atom.t
+(** [reverse(list, ?)] *)
+
+val transitive_closure : Program.t
+(** [tc(X,Y) :- edge(X,Y).  tc(X,Y) :- edge(X,Z), tc(Z,Y).] over the
+    generators' [edge] predicate. *)
+
+val tc_query : Term.t -> Atom.t

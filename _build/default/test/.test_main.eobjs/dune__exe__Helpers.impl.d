@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Atom Datalog Engine Fmt List Magic_core Option Parser Program QCheck2 QCheck_alcotest Random Rule Term

@@ -1,0 +1,1 @@
+test/test_adorn.ml: Alcotest Atom Datalog Engine Helpers List Magic_core Rule String Term Workload

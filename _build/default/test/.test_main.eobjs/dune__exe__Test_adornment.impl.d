@@ -1,0 +1,1 @@
+test/test_adornment.ml: Alcotest Helpers Magic_core

@@ -1,0 +1,1 @@
+test/test_appendix.ml: Alcotest Atom Datalog Engine Helpers List Magic_core Program Rule Term Workload

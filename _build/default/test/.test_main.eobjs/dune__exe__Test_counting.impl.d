@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Array Atom Datalog Engine Fmt Helpers List Magic_core Program Rule String Symbol Term Workload

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array Datalog Engine Fmt Fun Helpers List Magic_core QCheck2 Symbol Term Workload

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Atom Datalog Engine Fmt Hashtbl Helpers List Term Workload

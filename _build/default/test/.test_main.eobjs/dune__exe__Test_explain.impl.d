@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Atom Datalog Engine Helpers List Magic_core Program Rule Workload

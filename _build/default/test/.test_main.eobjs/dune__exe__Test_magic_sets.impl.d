@@ -1,0 +1,1 @@
+test/test_magic_sets.ml: Alcotest Atom Datalog Engine Fmt Helpers List Magic_core Program Rule Term Workload

@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest List Magic_core

@@ -1,0 +1,1 @@
+test/test_optimality.ml: Alcotest Datalog Engine Fmt Helpers List Magic_core Result Term Workload

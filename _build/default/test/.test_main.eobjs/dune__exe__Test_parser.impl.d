@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Atom Datalog Helpers List Option Parser Program Rule Term

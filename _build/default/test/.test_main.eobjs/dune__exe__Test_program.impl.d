@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Datalog Helpers List Option Program Result Rule Symbol Workload

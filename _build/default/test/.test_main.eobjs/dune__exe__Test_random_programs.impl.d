@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Atom Datalog Engine Fmt Helpers List Magic_core QCheck2 Result String Term

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Atom Datalog Engine Fmt Helpers List QCheck2 Symbol Term

@@ -1,0 +1,1 @@
+test/test_rewrite_driver.ml: Alcotest Atom Datalog Engine Helpers List Magic_core Term Workload

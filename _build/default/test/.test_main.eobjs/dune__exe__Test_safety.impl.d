@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Atom Datalog Engine Helpers List Magic_core Workload

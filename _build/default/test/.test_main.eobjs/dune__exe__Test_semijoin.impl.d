@@ -1,0 +1,1 @@
+test/test_semijoin.ml: Alcotest Array Atom Datalog Engine Helpers List Magic_core Program Rule String Symbol Term Workload

@@ -1,0 +1,1 @@
+test/test_sip.ml: Alcotest Atom Datalog Helpers List Magic_core Program Result Rule Workload

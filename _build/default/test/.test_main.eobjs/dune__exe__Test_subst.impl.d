@@ -1,0 +1,1 @@
+test/test_subst.ml: Alcotest Datalog Fmt Helpers List QCheck2 Subst Term

@@ -1,0 +1,1 @@
+test/test_supplementary.ml: Alcotest Atom Datalog Fmt Helpers List Magic_core Program Rule Term Workload

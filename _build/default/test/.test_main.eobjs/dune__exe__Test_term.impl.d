@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest Datalog Helpers QCheck2 Term

@@ -1,0 +1,1 @@
+test/test_topdown.ml: Alcotest Array Datalog Engine Helpers List Term Workload

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Helpers List Magic_core String Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Atom Datalog Helpers List Magic_core String Term Workload

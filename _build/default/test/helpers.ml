@@ -1,0 +1,94 @@
+(* Shared test utilities: parsing shortcuts, answer comparison, random
+   generators for qcheck properties. *)
+
+open Datalog
+module C = Magic_core
+
+let term = Parser.parse_term
+let atom = Parser.parse_atom
+let rule = Parser.parse_rule
+let program src = fst (Parser.parse_program src)
+
+let load src =
+  let p, q = Parser.parse_program src in
+  let p, facts = Parser.split_facts p in
+  (p, Option.get q, Engine.Database.of_facts facts)
+
+let tuple_list = Alcotest.testable (Fmt.list ~sep:Fmt.sp Engine.Tuple.pp) ( = )
+
+let sorted_answers (r : C.Rewrite.result) =
+  List.sort Engine.Tuple.compare r.C.Rewrite.answers
+
+let run_method ?max_facts name program query edb =
+  let m = List.assoc name C.Rewrite.methods in
+  C.Rewrite.run ?max_facts m program query ~edb
+
+(* rule-set equality modulo order: used to lock appendix outputs *)
+let same_rule_set p1 p2 =
+  let norm p = List.sort Rule.compare (Program.rules p) in
+  List.equal Rule.equal (norm p1) (norm p2)
+
+let check_rule_set msg expected actual =
+  if not (same_rule_set expected actual) then
+    Alcotest.failf "%s:@.expected:@.%a@.got:@.%a" msg Program.pp expected Program.pp
+      actual
+
+(* deterministic random ground terms / atoms for qcheck *)
+let gen_const =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.map (fun i -> Term.Int i) QCheck2.Gen.small_int;
+      QCheck2.Gen.map
+        (fun i -> Term.Sym (Fmt.str "c%d" i))
+        (QCheck2.Gen.int_bound 20);
+    ]
+
+let gen_var = QCheck2.Gen.map (fun i -> Fmt.str "V%d" i) (QCheck2.Gen.int_bound 6)
+
+let gen_term =
+  QCheck2.Gen.sized
+  @@ QCheck2.Gen.fix (fun self n ->
+         if n <= 1 then
+           QCheck2.Gen.oneof [ gen_const; QCheck2.Gen.map (fun v -> Term.Var v) gen_var ]
+         else
+           QCheck2.Gen.oneof
+             [
+               gen_const;
+               QCheck2.Gen.map (fun v -> Term.Var v) gen_var;
+               QCheck2.Gen.map2
+                 (fun f args -> Term.App (Fmt.str "f%d" f, args))
+                 (QCheck2.Gen.int_bound 3)
+                 (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 3) (self (n / 2)));
+             ])
+
+let gen_ground_term =
+  QCheck2.Gen.sized
+  @@ QCheck2.Gen.fix (fun self n ->
+         if n <= 1 then gen_const
+         else
+           QCheck2.Gen.oneof
+             [
+               gen_const;
+               QCheck2.Gen.map2
+                 (fun f args -> Term.App (Fmt.str "f%d" f, args))
+                 (QCheck2.Gen.int_bound 3)
+                 (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 3) (self (n / 2)));
+             ])
+
+let qtest ?(count = 200) name gen prop =
+  (* fixed seed: property tests are deterministic across runs *)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed |])
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* random edge sets over a small constant universe, for program-equivalence
+   properties *)
+let gen_edges =
+  QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 30)
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 9) (QCheck2.Gen.int_bound 9))
+
+let edges_to_facts ?(pred = "p") edges =
+  List.map
+    (fun (a, b) ->
+      Atom.make pred [ Term.Sym (Fmt.str "n%d" a); Term.Sym (Fmt.str "n%d" b) ])
+    edges

@@ -1,0 +1,57 @@
+open Helpers
+module C = Magic_core
+
+let adt = Alcotest.testable C.Adornment.pp C.Adornment.equal
+
+let test_string_roundtrip () =
+  Alcotest.check adt "bf" (C.Adornment.of_string "bf")
+    [ C.Adornment.Bound; C.Adornment.Free ];
+  Alcotest.(check string) "to_string" "bbf"
+    (C.Adornment.to_string (C.Adornment.of_string "bbf"));
+  Alcotest.(check bool)
+    "bad char" true
+    (try ignore (C.Adornment.of_string "bx"); false with Invalid_argument _ -> true)
+
+let test_of_query () =
+  Alcotest.check adt "ground/free" (C.Adornment.of_string "bf")
+    (C.Adornment.of_query (atom "a(john, X)"));
+  Alcotest.check adt "compound ground" (C.Adornment.of_string "bf")
+    (C.Adornment.of_query (atom "r([a, b], Y)"));
+  Alcotest.check adt "compound with var is free" (C.Adornment.of_string "f")
+    (C.Adornment.of_query (atom "r([a | T])"))
+
+let test_of_args () =
+  (* an argument is bound only if ALL its variables are bound *)
+  let bound = function "X" -> true | _ -> false in
+  Alcotest.check adt "partial term free" (C.Adornment.of_string "bff")
+    (C.Adornment.of_args ~bound_vars:bound
+       [ term "X"; term "f(X, Y)"; term "Y" ]);
+  Alcotest.check adt "ground arg is bound" (C.Adornment.of_string "b")
+    (C.Adornment.of_args ~bound_vars:bound [ term "c" ])
+
+let test_selections () =
+  let a = C.Adornment.of_string "bfb" in
+  Alcotest.(check (list int)) "bound positions" [ 0; 2 ] (C.Adornment.bound_positions a);
+  Alcotest.(check (list int)) "free positions" [ 1 ] (C.Adornment.free_positions a);
+  Alcotest.(check (list string)) "select bound" [ "x"; "z" ]
+    (C.Adornment.select_bound a [ "x"; "y"; "z" ]);
+  Alcotest.(check (list string)) "select free" [ "y" ]
+    (C.Adornment.select_free a [ "x"; "y"; "z" ]);
+  Alcotest.(check int) "bound count" 2 (C.Adornment.bound_count a)
+
+let test_weaker () =
+  let le a b =
+    C.Adornment.weaker_or_equal (C.Adornment.of_string a) (C.Adornment.of_string b)
+  in
+  Alcotest.(check bool) "ff <= bf" true (le "ff" "bf");
+  Alcotest.(check bool) "bf <= bf" true (le "bf" "bf");
+  Alcotest.(check bool) "bf </= fb" false (le "bf" "fb")
+
+let suite =
+  [
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "of_query" `Quick test_of_query;
+    Alcotest.test_case "of_args" `Quick test_of_args;
+    Alcotest.test_case "selections" `Quick test_selections;
+    Alcotest.test_case "weaker_or_equal" `Quick test_weaker;
+  ]

@@ -1,0 +1,152 @@
+open Datalog
+open Helpers
+
+let answers_of outcome q =
+  List.map Engine.Tuple.to_list (Engine.Eval.answers outcome q)
+
+let test_transitive_closure () =
+  let p, q, edb = load "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y). e(a,b). e(b,c). ?- t(a, ?)." in
+  let naive = Engine.Eval.naive p ~edb in
+  let semi = Engine.Eval.seminaive p ~edb in
+  Alcotest.(check (list (list (testable Term.pp Term.equal))))
+    "naive answers"
+    [ [ term "a"; term "b" ]; [ term "a"; term "c" ] ]
+    (answers_of naive q);
+  Alcotest.(check bool) "same" true (answers_of naive q = answers_of semi q);
+  Alcotest.(check bool)
+    "seminaive no rederivation on a chain" true
+    (semi.Engine.Eval.stats.Engine.Stats.rederivations
+    <= naive.Engine.Eval.stats.Engine.Stats.rederivations)
+
+let test_cycle_terminates () =
+  let p, q, edb = load "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y). e(a,b). e(b,a). ?- t(a, ?)." in
+  let out = Engine.Eval.seminaive p ~edb in
+  Alcotest.(check bool) "no divergence" false out.Engine.Eval.diverged;
+  Alcotest.(check int) "answers" 2 (List.length (Engine.Eval.answers out q))
+
+let test_builtins () =
+  let p, q, edb =
+    load "big(X) :- n(X), X >= 4. n(1). n(4). n(9). ?- big(?)."
+  in
+  let out = Engine.Eval.seminaive p ~edb in
+  Alcotest.(check int) "two bigs" 2 (List.length (Engine.Eval.answers out q))
+
+let test_arith_heads () =
+  (* arithmetic computed in rule bodies via [=] flows into heads *)
+  let p, q, edb =
+    load
+      "depth(X, 0) :- root(X).\n\
+       depth(Y, N) :- depth(X, M), e(X, Y), N = M + 1.\n\
+       root(a). e(a, b). e(b, c). ?- depth(c, ?)."
+  in
+  let out = Engine.Eval.seminaive p ~edb in
+  match Engine.Eval.answers out q with
+  | [ t ] -> Alcotest.(check bool) "depth 2" true (Term.equal t.(1) (Term.Int 2))
+  | _ -> Alcotest.fail "expected one answer"
+
+let test_stratified_negation () =
+  let p, q, edb =
+    load
+      "reach(X) :- source(X).\n\
+       reach(Y) :- reach(X), e(X, Y).\n\
+       unreached(X) :- node(X), not reach(X).\n\
+       source(a). e(a, b). node(a). node(b). node(c). ?- unreached(?)."
+  in
+  let out = Engine.Eval.seminaive p ~edb in
+  Alcotest.(check (list (list (testable Term.pp Term.equal))))
+    "c unreached" [ [ term "c" ] ] (answers_of out q);
+  let naive = Engine.Eval.naive p ~edb in
+  Alcotest.(check bool) "naive agrees" true (answers_of naive q = answers_of out q)
+
+let test_negation_not_stratifiable () =
+  let p = program "w(X) :- n(X), not w(X). n(a)." in
+  Alcotest.(check bool)
+    "raises" true
+    (try
+       ignore (Engine.Eval.seminaive p ~edb:(Engine.Database.create ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_budget () =
+  (* a counter program that never stops: n(X+1) :- n(X) *)
+  let p = program "n(Y) :- n(X), Y = X + 1." in
+  let edb = Engine.Database.of_facts [ atom "n(0)" ] in
+  let out = Engine.Eval.seminaive ~max_facts:50 p ~edb in
+  Alcotest.(check bool) "diverged" true out.Engine.Eval.diverged;
+  Alcotest.(check bool)
+    "stopped promptly" true
+    (out.Engine.Eval.stats.Engine.Stats.facts <= 50);
+  let out2 = Engine.Eval.seminaive ~max_iterations:10 p ~edb in
+  Alcotest.(check bool) "iteration budget" true out2.Engine.Eval.diverged
+
+let test_unsafe_rule () =
+  let p = program "a(X, Y) :- b(X)." in
+  let edb = Engine.Database.of_facts [ atom "b(c)" ] in
+  Alcotest.(check bool)
+    "unsafe raises" true
+    (try
+       ignore (Engine.Eval.seminaive p ~edb);
+       false
+     with Engine.Solve.Unsafe _ -> true)
+
+let test_facts_in_program () =
+  (* rules with empty bodies fire in round 0 *)
+  let p, q, edb = load "a(X) :- b(X). b(s). a(t). ?- a(?)." in
+  let out = Engine.Eval.seminaive p ~edb in
+  Alcotest.(check int) "both" 2 (List.length (Engine.Eval.answers out q))
+
+let prop_naive_equals_seminaive =
+  qtest ~count:60 "naive = seminaive on random graphs" gen_edges (fun edges ->
+      let p = Workload.Programs.transitive_closure in
+      let edb = Engine.Database.of_facts (edges_to_facts ~pred:"edge" edges) in
+      let q = Atom.make "tc" [ Term.Var "X"; Term.Var "Y" ] in
+      let a1 = Engine.Eval.answers (Engine.Eval.naive p ~edb) q in
+      let a2 = Engine.Eval.answers (Engine.Eval.seminaive p ~edb) q in
+      List.equal Engine.Tuple.equal a1 a2)
+
+let prop_tc_is_reachability =
+  qtest ~count:60 "tc = graph reachability" gen_edges (fun edges ->
+      let p = Workload.Programs.transitive_closure in
+      let edb = Engine.Database.of_facts (edges_to_facts ~pred:"edge" edges) in
+      let q = Atom.make "tc" [ Term.Var "X"; Term.Var "Y" ] in
+      let computed =
+        List.map
+          (fun t -> (Term.to_string t.(0), Term.to_string t.(1)))
+          (Engine.Eval.answers (Engine.Eval.seminaive p ~edb) q)
+        |> List.sort_uniq compare
+      in
+      (* reference: floyd-warshall over the edge list *)
+      let nodes = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+      let reach = Hashtbl.create 64 in
+      List.iter (fun e -> Hashtbl.replace reach e ()) edges;
+      List.iter
+        (fun k ->
+          List.iter
+            (fun i ->
+              List.iter
+                (fun j ->
+                  if Hashtbl.mem reach (i, k) && Hashtbl.mem reach (k, j) then
+                    Hashtbl.replace reach (i, j) ())
+                nodes)
+            nodes)
+        nodes;
+      let expected =
+        Hashtbl.fold (fun (a, b) () acc -> (Fmt.str "n%d" a, Fmt.str "n%d" b) :: acc) reach []
+        |> List.sort_uniq compare
+      in
+      computed = expected)
+
+let suite =
+  [
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "cycles terminate" `Quick test_cycle_terminates;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "arithmetic heads" `Quick test_arith_heads;
+    Alcotest.test_case "stratified negation" `Quick test_stratified_negation;
+    Alcotest.test_case "unstratifiable rejected" `Quick test_negation_not_stratifiable;
+    Alcotest.test_case "budgets" `Quick test_budget;
+    Alcotest.test_case "unsafe rule" `Quick test_unsafe_rule;
+    Alcotest.test_case "facts in program" `Quick test_facts_in_program;
+    prop_naive_equals_seminaive;
+    prop_tc_is_reachability;
+  ]

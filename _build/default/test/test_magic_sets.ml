@@ -1,0 +1,205 @@
+open Datalog
+open Helpers
+module C = Magic_core
+
+let adorned p q = C.Adorn.adorn p q
+
+let test_guard_placement () =
+  (* every modified rule of a bound-headed adorned predicate starts with
+     its magic guard *)
+  let rw =
+    C.Magic_sets.rewrite
+      (adorned Workload.Programs.nested_same_generation
+         (Workload.Programs.nested_same_generation_query (term "j")))
+  in
+  List.iter2
+    (fun r (meta : C.Rewritten.rule_meta) ->
+      match meta.C.Rewritten.kind with
+      | C.Rewritten.Modified _ -> begin
+        match meta.C.Rewritten.origins with
+        | C.Rewritten.Guard :: _ -> begin
+          match List.hd r.Rule.body with
+          | Rule.Pos a -> begin
+            match C.Naming.role rw.C.Rewritten.naming a.Atom.pred with
+            | Some (C.Naming.Magic _) -> ()
+            | _ -> Alcotest.failf "guard of %a is not a magic literal" Rule.pp r
+          end
+          | Rule.Neg _ -> Alcotest.fail "guard cannot be negated"
+        end
+        | _ -> Alcotest.failf "modified rule %a lacks a leading guard" Rule.pp r
+      end
+      | _ -> ())
+    (Program.rules rw.C.Rewritten.program)
+    rw.C.Rewritten.meta
+
+let test_meta_alignment () =
+  (* provenance metadata stays aligned with rule bodies for every strategy *)
+  let check rw =
+    List.iter2
+      (fun r (meta : C.Rewritten.rule_meta) ->
+        Alcotest.(check int)
+          (Fmt.str "origins of %a" Rule.pp r)
+          (List.length r.Rule.body)
+          (List.length meta.C.Rewritten.origins))
+      (Program.rules rw.C.Rewritten.program)
+      rw.C.Rewritten.meta
+  in
+  let ad () =
+    adorned Workload.Programs.nonlinear_same_generation
+      (Workload.Programs.same_generation_query (term "j"))
+  in
+  check (C.Magic_sets.rewrite (ad ()));
+  check (C.Supplementary.rewrite (ad ()));
+  check (C.Counting.rewrite (ad ()));
+  check (C.Sup_counting.rewrite (ad ()));
+  check (C.Semijoin.optimize (C.Counting.rewrite (ad ())))
+
+(* A custom sip with two arcs into one occurrence exercises the label-rule
+   construction of Section 4. *)
+let two_arc_strategy ~derived rule adornment =
+  match rule.Rule.body with
+  | [ Rule.Pos a0; Rule.Pos a1; Rule.Pos _ ]
+    when a0.Atom.pred = "left" && a1.Atom.pred = "right" ->
+    ignore derived;
+    ignore adornment;
+    {
+      C.Sip.arcs =
+        [
+          { C.Sip.tail = [ C.Sip.Body 0 ]; target = 2; label = [ "W1" ] };
+          { C.Sip.tail = [ C.Sip.Body 1 ]; target = 2; label = [ "W2" ] };
+        ];
+    }
+  | _ -> C.Sip.full_left_to_right ~derived rule adornment
+
+let two_arc_program =
+  program
+    "q(X, Y) :- left(X, W1), right(X, W2), r(W1, W2, Y).\n\
+     r(A, B, Y) :- base(A, B, Y)."
+
+let test_label_rules () =
+  let q = Atom.make "q" [ Term.Sym "c"; Term.Var "Y" ] in
+  let ad = C.Adorn.adorn ~strategy:two_arc_strategy two_arc_program q in
+  let rw = C.Magic_sets.rewrite ad in
+  let label_rules =
+    List.filter
+      (fun (meta : C.Rewritten.rule_meta) ->
+        match meta.C.Rewritten.kind with
+        | C.Rewritten.Label_def _ -> true
+        | _ -> false)
+      rw.C.Rewritten.meta
+  in
+  Alcotest.(check int) "two label rules" 2 (List.length label_rules);
+  (* and the program still computes the right answers *)
+  let edb =
+    Engine.Database.of_facts
+      (List.map atom
+         [
+           "left(c, 1)"; "right(c, 2)"; "base(1, 2, hit)"; "base(1, 3, miss)";
+           "left(d, 9)";
+         ])
+  in
+  let out = C.Rewritten.run rw ~edb in
+  let answers = C.Rewritten.answers rw out in
+  let reference = Engine.Eval.answers (Engine.Eval.seminaive two_arc_program ~edb) q in
+  Alcotest.check tuple_list "label-joined answers" reference answers
+
+let test_negation_through_magic () =
+  (* a predicate used under negation keeps its all-free (full) version;
+     magic guards only the positive cone — stratified semantics preserved *)
+  let p =
+    program
+      "comp(P, Q) :- sub(P, Q).\n\
+       comp(P, Q) :- sub(P, R), comp(R, Q).\n\
+       hassub(P) :- sub(P, _).\n\
+       leafcomp(P, Q) :- comp(P, Q), not hassub(Q)."
+  in
+  let q = Atom.make "leafcomp" [ Term.Sym "a"; Term.Var "Q" ] in
+  let edb =
+    Engine.Database.of_facts
+      (List.map atom [ "sub(a, b)"; "sub(b, c)"; "sub(b, d)"; "sub(x, y)" ])
+  in
+  let gms = run_method "gms" p q edb in
+  let reference = run_method "seminaive" p q edb in
+  Alcotest.(check bool) "ok" true (gms.C.Rewrite.status = C.Rewrite.Ok);
+  Alcotest.check tuple_list "answers" (sorted_answers reference) (sorted_answers gms)
+
+let test_unsimplified_has_extra_magic () =
+  (* without Prop 4.2 pruning, magic literals for tail members survive *)
+  let ad () =
+    adorned Workload.Programs.nonlinear_same_generation
+      (Workload.Programs.same_generation_query (term "j"))
+  in
+  let count_magic rw =
+    List.fold_left
+      (fun acc r ->
+        acc
+        + List.length
+            (List.filter
+               (fun lit ->
+                 match lit with
+                 | Rule.Pos a -> begin
+                   match C.Naming.role rw.C.Rewritten.naming a.Atom.pred with
+                   | Some (C.Naming.Magic _) -> true
+                   | _ -> false
+                 end
+                 | Rule.Neg _ -> false)
+               r.Rule.body))
+      0
+      (Program.rules rw.C.Rewritten.program)
+  in
+  let simplified = count_magic (C.Magic_sets.rewrite ~simplify:true (ad ())) in
+  let full = count_magic (C.Magic_sets.rewrite ~simplify:false (ad ())) in
+  Alcotest.(check bool)
+    (Fmt.str "full (%d) has more magic literals than simplified (%d)" full simplified)
+    true (full > simplified)
+
+let test_base_query () =
+  (* querying a base predicate: nothing to rewrite, answers come straight
+     from the EDB *)
+  let p = Workload.Programs.ancestor in
+  let q = Atom.make "p" [ Term.Sym "j"; Term.Var "Y" ] in
+  let edb = Engine.Database.of_facts (List.map atom [ "p(j, m)"; "p(m, s)" ]) in
+  let rw = C.Magic_sets.rewrite (adorned p q) in
+  Alcotest.(check bool) "empty program" true (Program.is_empty rw.C.Rewritten.program);
+  let out = C.Rewritten.run rw ~edb in
+  Alcotest.(check int) "edb answers" 1 (List.length (C.Rewritten.answers rw out))
+
+let test_all_free_query_no_seed () =
+  let p = Workload.Programs.ancestor in
+  let q = Atom.make "a" [ Term.Var "X"; Term.Var "Y" ] in
+  let rw = C.Magic_sets.rewrite (adorned p q) in
+  Alcotest.(check int) "no seed" 0 (List.length rw.C.Rewritten.seeds);
+  let edb = Engine.Database.of_facts (List.map atom [ "p(j, m)"; "p(m, s)" ]) in
+  let out = C.Rewritten.run rw ~edb in
+  Alcotest.(check int) "all pairs" 3 (List.length (C.Rewritten.answers rw out))
+
+let test_constant_in_rule_head () =
+  (* constants inside rule heads and bodies flow through the rewrite *)
+  let p =
+    program
+      "boss(X, root) :- top(X).\n\
+       boss(X, Y) :- works_for(X, Y).\n\
+       chain(X, Y) :- boss(X, Y).\n\
+       chain(X, Y) :- boss(X, Z), chain(Z, Y)."
+  in
+  let q = Atom.make "chain" [ Term.Sym "emp1"; Term.Var "Y" ] in
+  let edb =
+    Engine.Database.of_facts
+      (List.map atom [ "works_for(emp1, mgr)"; "top(mgr)" ])
+  in
+  let gms = run_method "gms" p q edb in
+  let reference = run_method "seminaive" p q edb in
+  Alcotest.check tuple_list "answers" (sorted_answers reference) (sorted_answers gms);
+  Alcotest.(check int) "emp1 -> mgr, root" 2 (List.length gms.C.Rewrite.answers)
+
+let suite =
+  [
+    Alcotest.test_case "guard placement" `Quick test_guard_placement;
+    Alcotest.test_case "meta alignment" `Quick test_meta_alignment;
+    Alcotest.test_case "label rules (multi-arc sip)" `Quick test_label_rules;
+    Alcotest.test_case "negation through magic" `Quick test_negation_through_magic;
+    Alcotest.test_case "Prop 4.2 pruning" `Quick test_unsimplified_has_extra_magic;
+    Alcotest.test_case "base-predicate query" `Quick test_base_query;
+    Alcotest.test_case "all-free query" `Quick test_all_free_query_no_seed;
+    Alcotest.test_case "constants in heads" `Quick test_constant_in_rule_head;
+  ]

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "magic"
+    [
+      ("term", Test_term.suite);
+      ("subst", Test_subst.suite);
+      ("parser", Test_parser.suite);
+      ("program", Test_program.suite);
+      ("relation", Test_relation.suite);
+      ("stats", Test_stats.suite);
+      ("eval", Test_eval.suite);
+      ("topdown", Test_topdown.suite);
+      ("adornment", Test_adornment.suite);
+      ("sip", Test_sip.suite);
+      ("adorn", Test_adorn.suite);
+      ("appendix", Test_appendix.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("safety", Test_safety.suite);
+      ("optimality", Test_optimality.suite);
+      ("workload", Test_workload.suite);
+      ("magic-sets", Test_magic_sets.suite);
+      ("supplementary", Test_supplementary.suite);
+      ("counting", Test_counting.suite);
+      ("semijoin", Test_semijoin.suite);
+      ("naming", Test_naming.suite);
+      ("driver", Test_rewrite_driver.suite);
+      ("explain", Test_explain.suite);
+      ("viz", Test_viz.suite);
+      ("random-programs", Test_random_programs.suite);
+    ]

@@ -1,0 +1,58 @@
+module C = Magic_core
+
+let bf = C.Adornment.of_string "bf"
+let bbf = C.Adornment.of_string "bbf"
+
+let test_mangling () =
+  let t = C.Naming.create ~reserved:[ "p"; "q" ] in
+  Alcotest.(check string) "adorned" "p_bf" (C.Naming.adorned t "p" bf);
+  Alcotest.(check string) "magic" "magic_p_bf" (C.Naming.magic t "p" bf);
+  Alcotest.(check string) "cnt" "cnt_p_bf" (C.Naming.cnt t "p" bf);
+  Alcotest.(check string) "indexed" "p_ind_bf" (C.Naming.indexed t "p" bf);
+  Alcotest.(check string) "sup" "sup_2_1"
+    (C.Naming.supp t ~rule_index:2 ~position:1 ~head:"p" ~adornment:bf);
+  Alcotest.(check string) "supcnt" "supcnt_2_1"
+    (C.Naming.supcnt t ~rule_index:2 ~position:1 ~head:"p" ~adornment:bf);
+  Alcotest.(check string) "label" "label_p_bf_0" (C.Naming.label t "p" bf 0)
+
+let test_all_free_is_identity () =
+  let t = C.Naming.create ~reserved:[] in
+  Alcotest.(check string) "all free keeps name" "p"
+    (C.Naming.adorned t "p" (C.Adornment.all_free 2));
+  Alcotest.(check bool) "not registered" true (C.Naming.role t "p" = None)
+
+let test_memoization () =
+  let t = C.Naming.create ~reserved:[] in
+  let a = C.Naming.magic t "p" bf in
+  let b = C.Naming.magic t "p" bf in
+  Alcotest.(check string) "same role same name" a b;
+  let c = C.Naming.magic t "p" bbf in
+  Alcotest.(check bool) "different adornment different name" true (a <> c)
+
+let test_collision_freshening () =
+  let t = C.Naming.create ~reserved:[ "magic_p_bf" ] in
+  Alcotest.(check string) "primed" "magic_p_bf'" (C.Naming.magic t "p" bf);
+  (* two colliding roles get distinct names *)
+  let t2 = C.Naming.create ~reserved:[ "p_bf" ] in
+  let n1 = C.Naming.adorned t2 "p" bf in
+  let n2 = C.Naming.adorned t2 "p_" (C.Adornment.of_string "bf") in
+  ignore n2;
+  Alcotest.(check string) "avoids reserved" "p_bf'" n1
+
+let test_roles_roundtrip () =
+  let t = C.Naming.create ~reserved:[] in
+  let name = C.Naming.supp t ~rule_index:3 ~position:2 ~head:"sg" ~adornment:bf in
+  (match C.Naming.role t name with
+  | Some (C.Naming.Supp { rule_index = 3; position = 2; head = "sg"; adornment }) ->
+    Alcotest.(check string) "adornment" "bf" (C.Adornment.to_string adornment)
+  | _ -> Alcotest.fail "role mismatch");
+  Alcotest.(check int) "names lists all" 1 (List.length (C.Naming.names t))
+
+let suite =
+  [
+    Alcotest.test_case "mangling" `Quick test_mangling;
+    Alcotest.test_case "all-free identity" `Quick test_all_free_is_identity;
+    Alcotest.test_case "memoization" `Quick test_memoization;
+    Alcotest.test_case "collision freshening" `Quick test_collision_freshening;
+    Alcotest.test_case "role roundtrip" `Quick test_roles_roundtrip;
+  ]

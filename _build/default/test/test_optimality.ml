@@ -1,0 +1,102 @@
+open Datalog
+open Helpers
+module C = Magic_core
+
+let test_reference_ancestor () =
+  let edb = Workload.Generate.db (Workload.Generate.chain ~pred:"p" 5) in
+  let ad =
+    C.Adorn.adorn Workload.Programs.ancestor
+      (Workload.Programs.ancestor_query (Workload.Generate.node "n" 0))
+  in
+  let r = C.Optimality.reference ad ~edb in
+  (* on a 5-edge chain from n0 (nodes n0..n5): one subquery per node,
+     and a(ni, nj) facts for every i < j *)
+  Alcotest.(check int) "queries" 6 (List.length r.C.Optimality.queries);
+  Alcotest.(check int) "facts" 15 (List.length r.C.Optimality.facts)
+
+let test_theorem_9_1_chain () =
+  let edb = Workload.Generate.db (Workload.Generate.chain ~pred:"p" 8) in
+  let ad =
+    C.Adorn.adorn Workload.Programs.ancestor
+      (Workload.Programs.ancestor_query (Workload.Generate.node "n" 0))
+  in
+  match C.Optimality.check_gms ad ~edb with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_theorem_9_1_nonlinear () =
+  let edb = Workload.Generate.db (Workload.Generate.chain ~pred:"p" 6) in
+  let ad =
+    C.Adorn.adorn Workload.Programs.nonlinear_ancestor
+      (Workload.Programs.ancestor_query (Workload.Generate.node "n" 0))
+  in
+  match C.Optimality.check_gms ad ~edb with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_section_9_n_squared () =
+  (* Section 9: on an n-chain, a sip strategy (hence magic) computes
+     Theta(n^2) ancestor facts though only n are answers *)
+  let n = 20 in
+  let edb = Workload.Generate.db (Workload.Generate.chain ~pred:"p" n) in
+  let ad =
+    C.Adorn.adorn Workload.Programs.ancestor
+      (Workload.Programs.ancestor_query (Workload.Generate.node "n" 0))
+  in
+  let r = C.Optimality.reference ad ~edb in
+  Alcotest.(check int) "facts = n(n+1)/2" (n * (n + 1) / 2) (List.length r.C.Optimality.facts);
+  let answers =
+    run_method "gms" Workload.Programs.ancestor
+      (Workload.Programs.ancestor_query (Workload.Generate.node "n" 0))
+      edb
+  in
+  Alcotest.(check int) "answers = n" n (List.length answers.C.Rewrite.answers)
+
+(* Lemma 9.3: a fuller sip computes a subset of the facts of a partial
+   sip (on the same rule set). *)
+let test_lemma_9_3 () =
+  let program = Workload.Programs.nonlinear_same_generation in
+  let query = Workload.Programs.same_generation_query (term "sg_0_0") in
+  let edb =
+    Workload.Generate.db (Workload.Generate.same_generation ~width:6 ~height:4)
+  in
+  let facts_with sip =
+    let ad = C.Adorn.adorn ~strategy:sip program query in
+    let out = C.Rewritten.run (C.Magic_sets.rewrite ad) ~edb in
+    out.Engine.Eval.stats.Engine.Stats.facts
+  in
+  let full = facts_with C.Sip.full_left_to_right in
+  let partial = facts_with C.Sip.chain_left_to_right in
+  Alcotest.(check bool)
+    (Fmt.str "full (%d) <= partial (%d)" full partial)
+    true (full <= partial)
+
+let prop_theorem_9_1_random =
+  qtest ~count:40 "Theorem 9.1 on random graphs" gen_edges (fun edges ->
+      let p = Workload.Programs.transitive_closure in
+      let edb = Engine.Database.of_facts (edges_to_facts ~pred:"edge" edges) in
+      let ad = C.Adorn.adorn p (Workload.Programs.tc_query (Term.Sym "n0")) in
+      Result.is_ok (C.Optimality.check_gms ad ~edb))
+
+let test_non_datalog_rejected () =
+  let ad =
+    C.Adorn.adorn Workload.Programs.list_reverse
+      (Workload.Programs.reverse_query (term "[a]"))
+  in
+  Alcotest.(check bool)
+    "rejected" true
+    (try
+       ignore (C.Optimality.reference ad ~edb:(Engine.Database.create ()));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "reference sets" `Quick test_reference_ancestor;
+    Alcotest.test_case "Theorem 9.1 chain" `Quick test_theorem_9_1_chain;
+    Alcotest.test_case "Theorem 9.1 nonlinear" `Quick test_theorem_9_1_nonlinear;
+    Alcotest.test_case "Section 9 n^2 facts" `Quick test_section_9_n_squared;
+    Alcotest.test_case "Lemma 9.3 full vs partial" `Quick test_lemma_9_3;
+    prop_theorem_9_1_random;
+    Alcotest.test_case "non-Datalog rejected" `Quick test_non_datalog_rejected;
+  ]

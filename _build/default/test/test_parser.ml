@@ -1,0 +1,91 @@
+open Datalog
+open Helpers
+
+let check_rule = Alcotest.testable Rule.pp Rule.equal
+
+let test_rules () =
+  let r = rule "a(X, Y) :- p(X, Z), a(Z, Y)." in
+  Alcotest.(check int) "two body literals" 2 (List.length r.Rule.body);
+  Alcotest.(check string) "head pred" "a" r.Rule.head.Atom.pred;
+  let f = rule "p(a, 1)." in
+  Alcotest.(check bool) "fact" true (Rule.is_fact f)
+
+let test_comments_whitespace () =
+  let p =
+    program "% a comment\n a(X) :- b(X). % trailing\n\n  b(c)."
+  in
+  Alcotest.(check int) "two clauses" 2 (Program.size p)
+
+let test_query () =
+  let _, q = Parser.parse_program "a(X) :- b(X). ?- a(c)." in
+  Alcotest.(check bool) "query found" true (q <> None);
+  Alcotest.(check string) "query pred" "a" (Option.get q).Atom.pred
+
+let test_anonymous () =
+  let a = atom "p(?, _, X)" in
+  let vars = Atom.vars a in
+  Alcotest.(check int) "three distinct vars" 3 (List.length vars)
+
+let test_builtins () =
+  let r = rule "big(X) :- n(X), X > 3." in
+  match r.Rule.body with
+  | [ Rule.Pos _; Rule.Pos cmp ] ->
+    Alcotest.(check bool) "builtin" true (Atom.is_builtin cmp);
+    Alcotest.(check string) "op" ">" cmp.Atom.pred
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let test_negation () =
+  let r = rule "orphan(X) :- person(X), not par(_, X)." in
+  match r.Rule.body with
+  | [ Rule.Pos _; Rule.Neg _ ] -> ()
+  | _ -> Alcotest.fail "expected a negated literal"
+
+let test_lists () =
+  Alcotest.check check_rule "cons rule"
+    (Rule.make
+       (Atom.make "append"
+          [
+            Term.Var "V";
+            Term.cons (Term.Var "W") (Term.Var "X");
+            Term.cons (Term.Var "W") (Term.Var "Y");
+          ])
+       [ Rule.Pos (Atom.make "append" [ Term.Var "V"; Term.Var "X"; Term.Var "Y" ]) ])
+    (rule "append(V, [W|X], [W|Y]) :- append(V, X, Y).")
+
+let test_errors () =
+  let fails s = try ignore (program s); false with Parser.Error _ -> true in
+  Alcotest.(check bool) "missing dot" true (fails "a(X) :- b(X)");
+  Alcotest.(check bool) "builtin head" true (fails "X = Y :- b(X, Y).");
+  Alcotest.(check bool) "unclosed paren" true (fails "a(X :- b(X).");
+  Alcotest.(check bool) "bad char" true (fails "a(X) :- #b(X).")
+
+let test_split_facts () =
+  let p, facts = Parser.split_facts (program "a(X) :- b(X). b(c). b(d). a(e).") in
+  (* a(e) heads a proper rule's predicate, so it must stay in the program *)
+  Alcotest.(check int) "facts" 2 (List.length facts);
+  Alcotest.(check int) "rules" 2 (Program.size p)
+
+let test_program_roundtrip () =
+  let src =
+    "a(X, Y) :- p(X, Z), a(Z, Y), X <> Y.\n\
+     a(X, Y) :- p(X, Y).\n\
+     r([H | T], N) :- r(T, M), N = M + 1.\n\
+     q(X) :- s(X), not t(X)."
+  in
+  let p = program src in
+  let p2 = program (Program.to_string p) in
+  Alcotest.(check bool) "roundtrip" true (List.equal Rule.equal (Program.rules p) (Program.rules p2))
+
+let suite =
+  [
+    Alcotest.test_case "rules" `Quick test_rules;
+    Alcotest.test_case "comments" `Quick test_comments_whitespace;
+    Alcotest.test_case "query" `Quick test_query;
+    Alcotest.test_case "anonymous vars" `Quick test_anonymous;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "negation" `Quick test_negation;
+    Alcotest.test_case "lists" `Quick test_lists;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "split facts" `Quick test_split_facts;
+    Alcotest.test_case "program roundtrip" `Quick test_program_roundtrip;
+  ]

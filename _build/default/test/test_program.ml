@@ -1,0 +1,102 @@
+open Datalog
+open Helpers
+
+let sym = Alcotest.testable Symbol.pp Symbol.equal
+
+let test_base_derived () =
+  let p = program "a(X,Y) :- p(X,Z), a(Z,Y). a(X,Y) :- p(X,Y)." in
+  Alcotest.(check (list sym))
+    "derived" [ Symbol.make "a" 2 ]
+    (Symbol.Set.elements (Program.derived p));
+  Alcotest.(check (list sym))
+    "base" [ Symbol.make "p" 2 ]
+    (Symbol.Set.elements (Program.base p))
+
+let test_builtin_not_base () =
+  let p = program "big(X) :- n(X), X > 3." in
+  Alcotest.(check (list sym))
+    "base excludes builtins" [ Symbol.make "n" 1 ]
+    (Symbol.Set.elements (Program.base p))
+
+let test_recursion () =
+  let p =
+    program
+      "a(X) :- b(X). b(X) :- c(X). c(X) :- a(X), e(X). d(X) :- e(X)."
+  in
+  Alcotest.(check bool) "a recursive" true (Program.is_recursive p (Symbol.make "a" 1));
+  Alcotest.(check bool) "d not recursive" false (Program.is_recursive p (Symbol.make "d" 1));
+  let sccs = Program.sccs p in
+  Alcotest.(check bool)
+    "a, b, c form one component" true
+    (List.exists (fun comp -> List.length comp = 3) sccs)
+
+let test_sccs_topological () =
+  let p = program "a(X) :- b(X). b(X) :- e(X). c(X) :- a(X)." in
+  let order = List.concat (Program.sccs p) in
+  let pos s = Option.get (List.find_index (Symbol.equal (Symbol.make s 1)) order) in
+  Alcotest.(check bool) "callee b before a" true (pos "b" < pos "a");
+  Alcotest.(check bool) "callee a before c" true (pos "a" < pos "c")
+
+let test_stratify () =
+  let p = program "r(X) :- e(X), not s(X). s(X) :- f(X). t(X) :- r(X)." in
+  (match Program.stratify p with
+  | Error e -> Alcotest.failf "unexpected: %s" e
+  | Ok stratum ->
+    Alcotest.(check bool)
+      "s below r" true
+      (stratum (Symbol.make "s" 1) < stratum (Symbol.make "r" 1));
+    Alcotest.(check bool)
+      "t at least r" true
+      (stratum (Symbol.make "t" 1) >= stratum (Symbol.make "r" 1)));
+  let bad = program "w(X) :- e(X), not w(X)." in
+  Alcotest.(check bool)
+    "negation in a cycle rejected" true
+    (Result.is_error (Program.stratify bad))
+
+let test_well_formed () =
+  Alcotest.(check bool)
+    "arity clash" true
+    (Result.is_error (Program.well_formed (program "a(X) :- p(X). a(X,Y) :- p(X), p(Y).")));
+  Alcotest.(check bool)
+    "negated unrestricted var" true
+    (Result.is_error (Program.well_formed (program "a(X) :- b(X), not c(Y).")));
+  Alcotest.(check bool)
+    "paper's list reverse accepted" true
+    (Result.is_ok (Program.well_formed Workload.Programs.list_reverse))
+
+let test_function_symbols () =
+  Alcotest.(check bool)
+    "datalog" false
+    (Program.has_function_symbols Workload.Programs.ancestor);
+  Alcotest.(check bool)
+    "lists" true
+    (Program.has_function_symbols Workload.Programs.list_reverse)
+
+let test_connectivity () =
+  let r = rule "a(X, Y) :- p(X, Z), q(Z, Y)." in
+  Alcotest.(check bool) "connected" true (Rule.is_connected r);
+  let r2 = rule "a(X) :- p(X), q(Y, Z), r(Z)." in
+  (* q, r form a separate existential component *)
+  Alcotest.(check bool) "disconnected" false (Rule.is_connected r2);
+  Alcotest.(check int)
+    "two components" 2
+    (List.length (Rule.connected_components r2))
+
+let test_rename_pred () =
+  let p = Program.rename_pred (fun s -> s ^ "_x") (program "a(X) :- b(X).") in
+  Alcotest.(check (list sym))
+    "renamed" [ Symbol.make "a_x" 1 ]
+    (Symbol.Set.elements (Program.derived p))
+
+let suite =
+  [
+    Alcotest.test_case "base/derived" `Quick test_base_derived;
+    Alcotest.test_case "builtins not base" `Quick test_builtin_not_base;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "sccs topological" `Quick test_sccs_topological;
+    Alcotest.test_case "stratify" `Quick test_stratify;
+    Alcotest.test_case "well-formed" `Quick test_well_formed;
+    Alcotest.test_case "function symbols" `Quick test_function_symbols;
+    Alcotest.test_case "connectivity" `Quick test_connectivity;
+    Alcotest.test_case "rename preds" `Quick test_rename_pred;
+  ]

@@ -1,0 +1,138 @@
+(* Program-level property testing: random safe Datalog programs are
+   generated (linear and nonlinear recursion, multiple IDB predicates,
+   interleaved base literals), evaluated with every strategy and checked
+   for agreement.  This is the broadest correctness net in the suite. *)
+
+open Datalog
+open Helpers
+module C = Magic_core
+
+(* A random rule over IDB predicates i0, i1 (binary) and EDB predicates
+   e0, e1, e2 (binary).  Every rule is range-restricted and connected. *)
+let gen_rule =
+  let open QCheck2.Gen in
+  let* head_pred = map (fun b -> if b then "i0" else "i1") bool in
+  let* shape = int_bound 4 in
+  let base = map (fun i -> Fmt.str "e%d" i) (int_bound 2) in
+  let* b1 = base in
+  let* b2 = base in
+  let* idb = map (fun b -> if b then "i0" else "i1") bool in
+  return
+    (match shape with
+    | 0 -> Fmt.str "%s(X, Y) :- %s(X, Y)." head_pred b1
+    | 1 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred b1 idb
+    | 2 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred idb b1
+    | 3 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, W), %s(W, Y)." head_pred b1 idb b2
+    | _ -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred b1 b2)
+
+let gen_program =
+  let open QCheck2.Gen in
+  let* n = int_range 2 6 in
+  let* rules = list_size (return n) gen_rule in
+  (* both IDB predicates always have an exit rule *)
+  let src =
+    String.concat "\n" ([ "i0(X, Y) :- e0(X, Y)."; "i1(X, Y) :- e1(X, Y)." ] @ rules)
+  in
+  return src
+
+let gen_edb =
+  let open QCheck2.Gen in
+  let edge pred =
+    map2
+      (fun a b ->
+        Atom.make pred [ Term.Sym (Fmt.str "n%d" a); Term.Sym (Fmt.str "n%d" b) ])
+      (int_bound 6) (int_bound 6)
+  in
+  let* e0 = list_size (int_range 0 10) (edge "e0") in
+  let* e1 = list_size (int_range 0 10) (edge "e1") in
+  let* e2 = list_size (int_range 0 10) (edge "e2") in
+  return (e0 @ e1 @ e2)
+
+let gen_case = QCheck2.Gen.pair gen_program gen_edb
+
+let query = Atom.make "i0" [ Term.Sym "n0"; Term.Var "Y" ]
+
+let agree methods (src, facts) =
+  let p = program src in
+  let edb = Engine.Database.of_facts facts in
+  let reference = sorted_answers (run_method ~max_facts:200_000 "seminaive" p query edb) in
+  List.for_all
+    (fun m ->
+      let r = run_method ~max_facts:200_000 m p query edb in
+      r.C.Rewrite.status = C.Rewrite.Ok && sorted_answers r = reference)
+    methods
+
+let prop_magic_family =
+  qtest ~count:60 "random programs: magic family = seminaive" gen_case
+    (agree [ "naive"; "gms"; "gsms"; "tabled" ])
+
+(* counting can diverge on cyclic data, so only check it when it
+   completes; when it does, it must agree *)
+let prop_counting_agrees_when_terminating =
+  (* small divergence budgets: counting on cyclic random data is cut off
+     quickly, and the path encoding's deep terms make large budgets slow *)
+  qtest ~count:30 "random programs: counting agrees when it terminates" gen_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      let reference =
+        sorted_answers (run_method ~max_facts:200_000 "seminaive" p query edb)
+      in
+      List.for_all
+        (fun m ->
+          let r = run_method ~max_facts:2_000 m p query edb in
+          match r.C.Rewrite.status with
+          | C.Rewrite.Ok -> sorted_answers r = reference
+          | C.Rewrite.Diverged -> true
+          | C.Rewrite.Unsafe _ -> false)
+        [ "gc"; "gsc"; "gc-sj"; "gsc-sj" ])
+
+let prop_sip_variants =
+  qtest ~count:40 "random programs: chain and head-only sips agree" gen_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      let reference =
+        sorted_answers (run_method ~max_facts:200_000 "seminaive" p query edb)
+      in
+      List.for_all
+        (fun sip ->
+          let options = { C.Rewrite.default_options with C.Rewrite.sip } in
+          let r =
+            C.Rewrite.run ~max_facts:200_000
+              (C.Rewrite.Rewritten_bottom_up (C.Rewrite.GMS, options))
+              p query ~edb
+          in
+          r.C.Rewrite.status = C.Rewrite.Ok && sorted_answers r = reference)
+        [ C.Sip.chain_left_to_right; C.Sip.head_only; C.Sip.none ])
+
+let prop_theorem_9_1_random_programs =
+  qtest ~count:30 "random programs: GMS sip-optimal" gen_case (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      let ad = C.Adorn.adorn p query in
+      Result.is_ok (C.Optimality.check_gms ad ~edb))
+
+let prop_explain_random =
+  qtest ~count:25 "random programs: every answer has a valid derivation" gen_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      let out = Engine.Eval.seminaive p ~edb in
+      let answers = Engine.Eval.answers out query in
+      List.for_all
+        (fun t ->
+          let fact = Atom.make "i0" (Engine.Tuple.to_list t) in
+          match Engine.Explain.derive p out.Engine.Eval.db fact with
+          | Some tree -> Engine.Explain.check p out.Engine.Eval.db tree
+          | None -> false)
+        answers)
+
+let suite =
+  [
+    prop_magic_family;
+    prop_counting_agrees_when_terminating;
+    prop_sip_variants;
+    prop_theorem_9_1_random_programs;
+    prop_explain_random;
+  ]

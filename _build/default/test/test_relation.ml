@@ -1,0 +1,105 @@
+open Datalog
+open Helpers
+
+let tup l = Array.of_list (List.map term l)
+
+let test_add_mem () =
+  let r = Engine.Relation.create 2 in
+  Alcotest.(check bool) "new" true (Engine.Relation.add r (tup [ "a"; "b" ]));
+  Alcotest.(check bool) "dup" false (Engine.Relation.add r (tup [ "a"; "b" ]));
+  Alcotest.(check bool) "mem" true (Engine.Relation.mem r (tup [ "a"; "b" ]));
+  Alcotest.(check bool) "not mem" false (Engine.Relation.mem r (tup [ "b"; "a" ]));
+  Alcotest.(check int) "cardinal" 1 (Engine.Relation.cardinal r)
+
+let test_arity_check () =
+  let r = Engine.Relation.create 2 in
+  Alcotest.(check bool)
+    "arity mismatch raises" true
+    (try
+       ignore (Engine.Relation.add r (tup [ "a" ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_lookup () =
+  let r = Engine.Relation.create 2 in
+  List.iter
+    (fun (a, b) -> ignore (Engine.Relation.add r (tup [ a; b ])))
+    [ ("a", "b"); ("a", "c"); ("d", "b") ];
+  let hits =
+    Engine.Relation.lookup r ~pattern:[| true; false |] ~key:(tup [ "a" ])
+  in
+  Alcotest.(check int) "prefix lookup" 2 (List.length hits);
+  let hits2 =
+    Engine.Relation.lookup r ~pattern:[| false; true |] ~key:(tup [ "b" ])
+  in
+  Alcotest.(check int) "suffix lookup" 2 (List.length hits2);
+  let all = Engine.Relation.lookup r ~pattern:[| false; false |] ~key:[||] in
+  Alcotest.(check int) "scan" 3 (List.length all)
+
+let test_index_updates () =
+  (* indexes built before inserts must see subsequent inserts *)
+  let r = Engine.Relation.create 2 in
+  ignore (Engine.Relation.add r (tup [ "a"; "b" ]));
+  ignore (Engine.Relation.lookup r ~pattern:[| true; false |] ~key:(tup [ "a" ]));
+  ignore (Engine.Relation.add r (tup [ "a"; "c" ]));
+  Alcotest.(check int)
+    "index sees later insert" 2
+    (List.length (Engine.Relation.lookup r ~pattern:[| true; false |] ~key:(tup [ "a" ])))
+
+let prop_lookup_is_filter =
+  qtest ~count:100 "lookup = filter on projection"
+    (QCheck2.Gen.pair gen_edges (QCheck2.Gen.int_bound 9))
+    (fun (edges, k) ->
+      let r = Engine.Relation.create 2 in
+      List.iter
+        (fun (a, b) ->
+          ignore
+            (Engine.Relation.add r
+               (tup [ Fmt.str "n%d" a; Fmt.str "n%d" b ])))
+        edges;
+      let key = tup [ Fmt.str "n%d" k ] in
+      let by_index =
+        List.sort Engine.Tuple.compare
+          (Engine.Relation.lookup r ~pattern:[| true; false |] ~key)
+      in
+      let by_scan =
+        List.sort Engine.Tuple.compare
+          (List.filter
+             (fun t -> Term.equal t.(0) key.(0))
+             (Engine.Relation.to_list r))
+      in
+      List.equal Engine.Tuple.equal by_index by_scan)
+
+let test_database () =
+  let db = Engine.Database.create () in
+  ignore (Engine.Database.add_fact db (atom "p(a, b)"));
+  ignore (Engine.Database.add_fact db (atom "p(b, c)"));
+  ignore (Engine.Database.add_fact db (atom "q(a)"));
+  Alcotest.(check int) "total" 3 (Engine.Database.total db);
+  Alcotest.(check int) "per pred" 2 (Engine.Database.cardinal db (Symbol.make "p" 2));
+  Alcotest.(check bool) "mem" true (Engine.Database.mem db (atom "p(a, b)"));
+  let copy = Engine.Database.copy db in
+  ignore (Engine.Database.add_fact copy (atom "q(z)"));
+  Alcotest.(check int) "copy isolated" 3 (Engine.Database.total db);
+  Alcotest.(check bool)
+    "non-ground rejected" true
+    (try
+       ignore (Engine.Database.add_fact db (atom "p(X, b)"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_arith_normalized () =
+  let db = Engine.Database.create () in
+  ignore (Engine.Database.add_fact db (Atom.make "n" [ term "1 + 2" ]));
+  Alcotest.(check bool) "stored evaluated" true (Engine.Database.mem db (atom "n(3)"))
+
+let suite =
+  [
+    Alcotest.test_case "add/mem" `Quick test_add_mem;
+    Alcotest.test_case "arity check" `Quick test_arity_check;
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "index updates" `Quick test_index_updates;
+    prop_lookup_is_filter;
+    Alcotest.test_case "database" `Quick test_database;
+    Alcotest.test_case "database arith" `Quick test_database_arith_normalized;
+  ]

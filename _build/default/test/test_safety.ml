@@ -1,0 +1,99 @@
+open Datalog
+open Helpers
+module C = Magic_core
+
+let adorn p q = C.Adorn.adorn p q
+
+let test_len_arithmetic () =
+  let len t = C.Safety.Len.of_term (term t) in
+  Alcotest.(check (option int)) "|a|" (Some 1) (C.Safety.Len.minimum (len "a"));
+  Alcotest.(check (option int)) "|f(a,b)|" (Some 3) (C.Safety.Len.minimum (len "f(a,b)"));
+  (* |X| >= 1 so |f(X,X)| >= 3 *)
+  Alcotest.(check (option int)) "|f(X,X)| min" (Some 3) (C.Safety.Len.minimum (len "f(X, X)"));
+  let diff = C.Safety.Len.sub (len "[V | X]") (len "X") in
+  Alcotest.(check (option int)) "|[V|X]| - |X| >= 2" (Some 2) (C.Safety.Len.minimum diff);
+  let neg = C.Safety.Len.sub (len "X") (len "f(X, Y)") in
+  Alcotest.(check (option int)) "unbounded below" None (C.Safety.Len.minimum neg)
+
+let test_ancestor_report () =
+  let r =
+    C.Safety.analyze
+      (adorn Workload.Programs.ancestor (Workload.Programs.ancestor_query (term "j")))
+  in
+  Alcotest.(check bool) "datalog" true r.C.Safety.is_datalog;
+  Alcotest.(check bool) "magic safe (Thm 10.2)" true r.C.Safety.magic_safe;
+  (* zero-length binding cycle: not provably positive *)
+  Alcotest.(check bool) "cycles not positive" false r.C.Safety.positive_binding_cycles;
+  Alcotest.(check bool) "counting not statically divergent" false
+    r.C.Safety.counting_statically_diverges;
+  Alcotest.(check bool) "counting not provably safe" false r.C.Safety.counting_safe
+
+let test_nonlinear_ancestor_report () =
+  let r =
+    C.Safety.analyze
+      (adorn Workload.Programs.nonlinear_ancestor
+         (Workload.Programs.ancestor_query (term "j")))
+  in
+  (* Theorem 10.3: the argument graph has the cycle (a_bf, 0) -> (a_bf, 0) *)
+  Alcotest.(check bool) "counting statically diverges" true
+    r.C.Safety.counting_statically_diverges;
+  Alcotest.(check bool) "magic still safe" true r.C.Safety.magic_safe
+
+let test_list_reverse_report () =
+  let r =
+    C.Safety.analyze
+      (adorn Workload.Programs.list_reverse
+         (Workload.Programs.reverse_query (term "[a, b]")))
+  in
+  Alcotest.(check bool) "not datalog" false r.C.Safety.is_datalog;
+  (* Theorem 10.1: every binding cycle shrinks the list, length >= 1 *)
+  Alcotest.(check bool) "positive cycles" true r.C.Safety.positive_binding_cycles;
+  Alcotest.(check bool) "magic safe" true r.C.Safety.magic_safe;
+  Alcotest.(check bool) "counting safe" true r.C.Safety.counting_safe
+
+let test_growing_recursion_unsafe () =
+  (* a query that builds bigger and bigger terms: binding cycle length is
+     negative, nothing is provably safe, and evaluation indeed diverges *)
+  let p = program "grow(X) :- grow(f(X))." in
+  let q = Atom.make "grow" [ term "a" ] in
+  let r = C.Safety.analyze (adorn p q) in
+  Alcotest.(check bool) "not provably safe" false r.C.Safety.magic_safe;
+  let rw = C.Rewrite.rewrite C.Rewrite.GMS p q in
+  let out = C.Rewritten.run ~max_facts:100 rw ~edb:(Engine.Database.create ()) in
+  Alcotest.(check bool) "diverges" true out.Engine.Eval.diverged
+
+let test_binding_graph_arcs () =
+  let ad =
+    adorn Workload.Programs.ancestor (Workload.Programs.ancestor_query (term "j"))
+  in
+  let arcs = C.Safety.binding_graph ad in
+  (* one arc: a_bf -> a_bf from the recursive rule *)
+  Alcotest.(check int) "one arc" 1 (List.length arcs);
+  let arc = List.hd arcs in
+  Alcotest.(check string) "src" "a" (fst arc.C.Safety.src);
+  Alcotest.(check string) "dst" "a" (fst arc.C.Safety.dst);
+  (* length |X| - |Z|: coefficient -1 on Z, so unbounded below *)
+  Alcotest.(check (option int)) "length min" None
+    (C.Safety.Len.minimum arc.C.Safety.length)
+
+let test_argument_graph_acyclic_linear () =
+  let ad =
+    adorn Workload.Programs.ancestor (Workload.Programs.ancestor_query (term "j"))
+  in
+  Alcotest.(check bool) "linear ancestor acyclic" false (C.Safety.argument_graph_cyclic ad);
+  let ad2 =
+    adorn Workload.Programs.nonlinear_ancestor (Workload.Programs.ancestor_query (term "j"))
+  in
+  Alcotest.(check bool) "nonlinear cyclic" true (C.Safety.argument_graph_cyclic ad2)
+
+let suite =
+  [
+    Alcotest.test_case "term-length arithmetic" `Quick test_len_arithmetic;
+    Alcotest.test_case "ancestor (Thm 10.2)" `Quick test_ancestor_report;
+    Alcotest.test_case "nonlinear ancestor (Thm 10.3)" `Quick
+      test_nonlinear_ancestor_report;
+    Alcotest.test_case "list reverse (Thm 10.1)" `Quick test_list_reverse_report;
+    Alcotest.test_case "growing recursion" `Quick test_growing_recursion_unsafe;
+    Alcotest.test_case "binding graph arcs" `Quick test_binding_graph_arcs;
+    Alcotest.test_case "argument graph" `Quick test_argument_graph_acyclic_linear;
+  ]

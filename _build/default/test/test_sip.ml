@@ -1,0 +1,158 @@
+open Datalog
+open Helpers
+module C = Magic_core
+
+let derived_of src = Program.derived (program src)
+
+let nonlinear_sg_rule =
+  rule "sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y)."
+
+let sg_derived = derived_of "sg(X,Y) :- flat(X,Y)."
+let bf = C.Adornment.of_string "bf"
+
+let test_full_sip_shape () =
+  (* the paper's sip (IV): arcs into sg.1 and sg.2, with full tails *)
+  let sip = C.Sip.full_left_to_right ~derived:sg_derived nonlinear_sg_rule bf in
+  Alcotest.(check int) "two arcs" 2 (List.length sip.C.Sip.arcs);
+  let arc1 = List.nth sip.C.Sip.arcs 0 in
+  let arc2 = List.nth sip.C.Sip.arcs 1 in
+  Alcotest.(check int) "arc1 target sg.1" 1 arc1.C.Sip.target;
+  Alcotest.(check (list string)) "arc1 label" [ "Z1" ] arc1.C.Sip.label;
+  Alcotest.(check int) "arc1 tail" 2 (List.length arc1.C.Sip.tail);
+  Alcotest.(check int) "arc2 target sg.2" 3 arc2.C.Sip.target;
+  Alcotest.(check (list string)) "arc2 label" [ "Z3" ] arc2.C.Sip.label;
+  (* full sip carries the head, up, sg.1 and flat *)
+  Alcotest.(check int) "arc2 tail size" 4 (List.length arc2.C.Sip.tail)
+
+let test_chain_sip_shape () =
+  (* the paper's partial sip (V): past information is dropped *)
+  let sip = C.Sip.chain_left_to_right ~derived:sg_derived nonlinear_sg_rule bf in
+  let arc2 = List.nth sip.C.Sip.arcs 1 in
+  Alcotest.(check int) "arc2 tail is {sg.1, flat}" 2 (List.length arc2.C.Sip.tail);
+  Alcotest.(check bool)
+    "tail members" true
+    (arc2.C.Sip.tail = [ C.Sip.Body 1; C.Sip.Body 2 ])
+
+let test_head_only_sip () =
+  let sip = C.Sip.head_only ~derived:sg_derived nonlinear_sg_rule bf in
+  (* only sg.1 can receive bindings straight from the head through up?
+     no: head_only passes only head variables; X covers no argument of
+     sg.1 directly, so no arc at all *)
+  Alcotest.(check int) "no arcs" 0 (List.length sip.C.Sip.arcs)
+
+let test_containment () =
+  let full = C.Sip.full_left_to_right ~derived:sg_derived nonlinear_sg_rule bf in
+  let chain = C.Sip.chain_left_to_right ~derived:sg_derived nonlinear_sg_rule bf in
+  Alcotest.(check bool)
+    "chain < full" true
+    (C.Sip.compare_sips chain full = `Less);
+  Alcotest.(check bool) "full = full" true (C.Sip.compare_sips full full = `Equal);
+  Alcotest.(check bool)
+    "empty < chain" true
+    (C.Sip.compare_sips C.Sip.empty chain = `Less)
+
+let test_validation () =
+  let r = rule "a(X,Y) :- p(X,Z), a(Z,Y)." in
+  let derived = derived_of "a(X,Y) :- p(X,Y)." in
+  let good = C.Sip.full_left_to_right ~derived r bf in
+  Alcotest.(check bool) "valid" true (Result.is_ok (C.Sip.validate r bf good));
+  (* (2i): label variable not in the tail *)
+  let bad1 =
+    { C.Sip.arcs = [ { C.Sip.tail = [ C.Sip.Head ]; target = 1; label = [ "Z" ] } ] }
+  in
+  Alcotest.(check bool) "2i rejected" true (Result.is_error (C.Sip.validate r bf bad1));
+  (* (2iii): label variable covering no argument *)
+  let bad2 =
+    {
+      C.Sip.arcs =
+        [ { C.Sip.tail = [ C.Sip.Head; C.Sip.Body 0 ]; target = 1; label = [ "X"; "Z" ] } ];
+    }
+  in
+  Alcotest.(check bool)
+    "2iii rejected" true
+    (Result.is_error (C.Sip.validate r bf bad2));
+  (* (3): cyclic precedence *)
+  let r2 = rule "a(X,Y) :- a(X,Z), a(Z,Y)." in
+  let cyclic =
+    {
+      C.Sip.arcs =
+        [
+          { C.Sip.tail = [ C.Sip.Body 1 ]; target = 0; label = [ "Z" ] };
+          { C.Sip.tail = [ C.Sip.Body 0 ]; target = 1; label = [ "Z" ] };
+        ];
+    }
+  in
+  Alcotest.(check bool)
+    "cyclic rejected" true
+    (Result.is_error (C.Sip.validate r2 bf cyclic))
+
+let test_ordering () =
+  let r = rule "a(X,Y) :- down(Z,Y), a(X,Z)." in
+  let derived = derived_of "a(X,Y) :- p(X,Y)." in
+  (* information must flow head -> a.2 -> down, so the sip ordering puts
+     the recursive literal first even though it is written second *)
+  let sip =
+    {
+      C.Sip.arcs = [ { C.Sip.tail = [ C.Sip.Head ]; target = 1; label = [ "X" ] } ];
+    }
+  in
+  ignore derived;
+  Alcotest.(check (list int)) "participants first" [ 1; 0 ] (C.Sip.ordering r sip)
+
+let test_incoming_label_union () =
+  let sip =
+    {
+      C.Sip.arcs =
+        [
+          { C.Sip.tail = [ C.Sip.Head ]; target = 0; label = [ "X" ] };
+          { C.Sip.tail = [ C.Sip.Head ]; target = 0; label = [ "Y" ] };
+        ];
+    }
+  in
+  Alcotest.(check (list string)) "union" [ "X"; "Y" ] (C.Sip.incoming_label sip 0)
+
+let test_builtin_strategies_validate () =
+  (* every built-in strategy produces a valid sip on the appendix programs *)
+  let programs =
+    [
+      (Workload.Programs.ancestor, "a");
+      (Workload.Programs.nonlinear_ancestor, "a");
+      (Workload.Programs.nested_same_generation, "p");
+      (Workload.Programs.nonlinear_same_generation, "sg");
+      (Workload.Programs.list_reverse, "reverse");
+    ]
+  in
+  List.iter
+    (fun (p, _) ->
+      let derived = Program.derived p in
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun r ->
+              let a = bf in
+              if C.Adornment.arity a = Atom.arity r.Rule.head then begin
+                let sip = strategy ~derived r a in
+                match C.Sip.validate r a sip with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "invalid sip for %a: %s" Rule.pp r e
+              end)
+            (Program.rules p))
+        [
+          C.Sip.full_left_to_right;
+          C.Sip.chain_left_to_right;
+          C.Sip.head_only;
+          C.Sip.none;
+        ])
+    programs
+
+let suite =
+  [
+    Alcotest.test_case "full sip (IV)" `Quick test_full_sip_shape;
+    Alcotest.test_case "chain sip (V)" `Quick test_chain_sip_shape;
+    Alcotest.test_case "head-only sip" `Quick test_head_only_sip;
+    Alcotest.test_case "containment (2.1)" `Quick test_containment;
+    Alcotest.test_case "validation (2i-3)" `Quick test_validation;
+    Alcotest.test_case "ordering (3')" `Quick test_ordering;
+    Alcotest.test_case "incoming label union" `Quick test_incoming_label_union;
+    Alcotest.test_case "builtin strategies valid" `Quick test_builtin_strategies_validate;
+  ]

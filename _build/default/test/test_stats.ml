@@ -1,0 +1,47 @@
+open Datalog
+module S = Engine.Stats
+
+let sym = Symbol.make "p" 2
+
+let test_record () =
+  let s = S.create () in
+  S.record_fact s sym ~is_new:true;
+  S.record_fact s sym ~is_new:true;
+  S.record_fact s sym ~is_new:false;
+  Alcotest.(check int) "facts" 2 s.S.facts;
+  Alcotest.(check int) "firings" 3 s.S.firings;
+  Alcotest.(check int) "rederivations" 1 s.S.rederivations;
+  Alcotest.(check int) "per pred" 2 (S.facts_for s sym)
+
+let test_merge () =
+  let a = S.create () and b = S.create () in
+  S.record_fact a sym ~is_new:true;
+  S.record_fact b sym ~is_new:true;
+  S.record_fact b (Symbol.make "q" 1) ~is_new:true;
+  a.S.iterations <- 3;
+  b.S.iterations <- 4;
+  let m = S.merge a b in
+  Alcotest.(check int) "iterations" 7 m.S.iterations;
+  Alcotest.(check int) "facts" 3 m.S.facts;
+  Alcotest.(check int) "per pred summed" 3 (S.facts_for m sym + S.facts_for m (Symbol.make "q" 1))
+
+let test_engine_counts_are_consistent () =
+  (* firings = facts + rederivations for every engine *)
+  let p, q, edb =
+    Helpers.load
+      "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y). e(a,b). e(b,c). e(b,a). ?- t(a, ?)."
+  in
+  ignore q;
+  List.iter
+    (fun out ->
+      let s = out.Engine.Eval.stats in
+      Alcotest.(check int) "firings = facts + rederivations" s.S.firings
+        (s.S.facts + s.S.rederivations))
+    [ Engine.Eval.naive p ~edb; Engine.Eval.seminaive p ~edb ]
+
+let suite =
+  [
+    Alcotest.test_case "record" `Quick test_record;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "engine consistency" `Quick test_engine_counts_are_consistent;
+  ]

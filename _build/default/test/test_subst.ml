@@ -1,0 +1,108 @@
+open Datalog
+open Helpers
+
+let check_term = Alcotest.testable Term.pp Term.equal
+
+let test_bind_apply () =
+  let s = Subst.of_list [ ("X", term "a"); ("Y", term "f(b)") ] in
+  Alcotest.check check_term "apply" (term "g(a, f(b), Z)")
+    (Subst.apply s (term "g(X, Y, Z)"));
+  Alcotest.check_raises "conflicting bind"
+    (Invalid_argument "Subst.bind: X already bound") (fun () ->
+      ignore (Subst.bind "X" (term "b") s))
+
+let test_match_basic () =
+  match Subst.match_term (term "f(X, b)") (term "f(a, b)") Subst.empty with
+  | None -> Alcotest.fail "expected match"
+  | Some s -> Alcotest.check check_term "X" (term "a") (Subst.apply s (term "X"))
+
+let test_match_fails () =
+  Alcotest.(check bool)
+    "mismatch" true
+    (Subst.match_term (term "f(X, c)") (term "f(a, b)") Subst.empty = None);
+  Alcotest.(check bool)
+    "repeated var inconsistent" true
+    (Subst.match_term (term "f(X, X)") (term "f(a, b)") Subst.empty = None);
+  Alcotest.(check bool)
+    "repeated var consistent" true
+    (Subst.match_term (term "f(X, X)") (term "f(a, a)") Subst.empty <> None)
+
+let test_match_arith_inversion () =
+  (* linear index patterns are inverted (needed after the semijoin
+     optimization deletes the guards that bound I, K, H) *)
+  let check_binding pat v expected =
+    match Subst.match_term (term pat) (Term.Int v) Subst.empty with
+    | None -> Alcotest.failf "%s should match %d" pat v
+    | Some s ->
+      Alcotest.check check_term pat (Term.Int expected) (Subst.apply s (term "X"))
+  in
+  check_binding "X + 1" 5 4;
+  check_binding "X * 3" 12 4;
+  check_binding "X * 2 + 1" 9 4;
+  Alcotest.(check bool)
+    "divisibility check" true
+    (Subst.match_term (term "X * 2") (Term.Int 5) Subst.empty = None);
+  Alcotest.(check bool)
+    "division not invertible" true
+    (Subst.match_term (term "X / 2") (Term.Int 5) Subst.empty = None)
+
+let test_unify_basic () =
+  match Subst.unify (term "f(X, b)") (term "f(a, Y)") Subst.empty with
+  | None -> Alcotest.fail "expected unifier"
+  | Some s ->
+    Alcotest.check check_term "X" (term "a") (Subst.apply_deep s (term "X"));
+    Alcotest.check check_term "Y" (term "b") (Subst.apply_deep s (term "Y"))
+
+let test_unify_occurs () =
+  Alcotest.(check bool)
+    "occurs check" true
+    (Subst.unify (term "X") (term "f(X)") Subst.empty = None)
+
+let test_unify_chain () =
+  (* triangular substitutions require deep application *)
+  match Subst.unify (term "f(X, Y)") (term "f(Y, a)") Subst.empty with
+  | None -> Alcotest.fail "expected unifier"
+  | Some s -> Alcotest.check check_term "X via Y" (term "a") (Subst.apply_deep s (term "X"))
+
+let prop_match_sound =
+  qtest "match_term is sound: apply s pat = t"
+    (QCheck2.Gen.pair gen_term gen_ground_term)
+    (fun (pat, t) ->
+      match Subst.match_term pat t Subst.empty with
+      | None -> true
+      | Some s -> Term.equal (Term.eval (Subst.apply s pat)) t)
+
+let prop_unify_sound =
+  qtest "unify is sound: both sides equal under the mgu"
+    (QCheck2.Gen.pair gen_term gen_term)
+    (fun (a, b) ->
+      match Subst.unify a b Subst.empty with
+      | None -> true
+      | Some s ->
+        Term.equal
+          (Term.eval (Subst.apply_deep s a))
+          (Term.eval (Subst.apply_deep s b)))
+
+let prop_match_of_applied =
+  qtest "matching a pattern against its own ground instance succeeds"
+    (QCheck2.Gen.pair gen_term (QCheck2.Gen.list_size (QCheck2.Gen.return 7) gen_const))
+    (fun (pat, consts) ->
+      let s =
+        Subst.of_list (List.mapi (fun i c -> (Fmt.str "V%d" i, c)) consts)
+      in
+      let inst = Term.eval (Subst.apply s pat) in
+      (not (Term.is_ground inst)) || Subst.match_term pat inst Subst.empty <> None)
+
+let suite =
+  [
+    Alcotest.test_case "bind/apply" `Quick test_bind_apply;
+    Alcotest.test_case "match basic" `Quick test_match_basic;
+    Alcotest.test_case "match failures" `Quick test_match_fails;
+    Alcotest.test_case "arith inversion" `Quick test_match_arith_inversion;
+    Alcotest.test_case "unify basic" `Quick test_unify_basic;
+    Alcotest.test_case "occurs check" `Quick test_unify_occurs;
+    Alcotest.test_case "unify chain" `Quick test_unify_chain;
+    prop_match_sound;
+    prop_unify_sound;
+    prop_match_of_applied;
+  ]

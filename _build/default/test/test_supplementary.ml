@@ -1,0 +1,108 @@
+open Datalog
+open Helpers
+module C = Magic_core
+
+let adorned p q = C.Adorn.adorn p q
+
+let test_sup_vars_trimming () =
+  (* phi_i keeps only variables still needed by the head or by literals
+     i..n (Section 5's first optimization) *)
+  let p =
+    program
+      "r(X, Y) :- e1(X, A), e2(A, B), e3(B, Y).\n\
+       r(X, Y) :- e1(X, A), r(A, B), e3(B, Y)."
+  in
+  let q = Atom.make "r" [ Term.Sym "c"; Term.Var "Y" ] in
+  let ad = adorned p q in
+  let ar = List.nth ad.C.Adorn.rules 1 in
+  (* phi_2 (after e1): available X, A; A feeds r, X is needed only if the
+     head still mentions it — it does (head X,Y... X is bound head arg) *)
+  Alcotest.(check (list string)) "phi_2" [ "X"; "A" ]
+    (C.Rew_util.sup_vars ~simplify:true ar 2);
+  (* untrimmed keeps everything accumulated *)
+  Alcotest.(check (list string)) "phi_2 untrimmed" [ "X"; "A" ]
+    (C.Rew_util.sup_vars ~simplify:false ar 2)
+
+let test_sup_vars_drop_dead () =
+  (* a variable used only early in the body disappears from later phis *)
+  let p =
+    program "s(X, Y) :- e1(X, A), e2(A, D), t(D, Y). t(D, Y) :- e3(D, Y)."
+  in
+  let q = Atom.make "s" [ Term.Sym "c"; Term.Var "Y" ] in
+  let ad = adorned p q in
+  let ar = List.hd ad.C.Adorn.rules in
+  (* after e1, e2: available X, A, D; A is dead (only e2 used it), X is
+     needed by the head, D feeds t *)
+  Alcotest.(check (list string)) "phi_3 trimmed" [ "X"; "D" ]
+    (C.Rew_util.sup_vars ~simplify:true ar 3);
+  Alcotest.(check (list string)) "phi_3 untrimmed" [ "X"; "A"; "D" ]
+    (C.Rew_util.sup_vars ~simplify:false ar 3)
+
+let test_no_arc_rule_has_no_sup () =
+  (* the flat rule gets no supplementary predicates, just the guard *)
+  let ad =
+    adorned Workload.Programs.nonlinear_same_generation
+      (Workload.Programs.same_generation_query (term "j"))
+  in
+  let rw = C.Supplementary.rewrite ad in
+  let sup_defs_for_rule0 =
+    List.filter
+      (fun (m : C.Rewritten.rule_meta) ->
+        match m.C.Rewritten.kind with
+        | C.Rewritten.Sup_def { adorned_index = 0; _ } -> true
+        | _ -> false)
+      rw.C.Rewritten.meta
+  in
+  Alcotest.(check int) "no sup rules for the exit rule" 0
+    (List.length sup_defs_for_rule0)
+
+let test_unsimplified_keeps_sup_1 () =
+  let ad =
+    adorned Workload.Programs.ancestor (Workload.Programs.ancestor_query (term "j"))
+  in
+  let rw = C.Supplementary.rewrite ~simplify:false ad in
+  let has_sup_1 =
+    List.exists
+      (fun (m : C.Rewritten.rule_meta) ->
+        match m.C.Rewritten.kind with
+        | C.Rewritten.Sup_def { position = 1; _ } -> true
+        | _ -> false)
+      rw.C.Rewritten.meta
+  in
+  Alcotest.(check bool) "sup_r_1 present without simplification" true has_sup_1;
+  (* and it still evaluates correctly *)
+  let edb = Workload.Generate.db (Workload.Generate.chain ~pred:"p" 6) in
+  let q2 = Workload.Programs.ancestor_query (Workload.Generate.node "n" 0) in
+  let ad2 = adorned Workload.Programs.ancestor q2 in
+  let rw2 = C.Supplementary.rewrite ~simplify:false ad2 in
+  let out = C.Rewritten.run rw2 ~edb in
+  Alcotest.(check int) "answers" 6 (List.length (C.Rewritten.answers rw2 out))
+
+let test_gsms_magic_defined_from_sup () =
+  (* every magic rule of GSMS reads from a supplementary literal or the
+     head's magic guard, never recomputing body joins *)
+  let ad =
+    adorned Workload.Programs.nonlinear_same_generation
+      (Workload.Programs.same_generation_query (term "j"))
+  in
+  let rw = C.Supplementary.rewrite ad in
+  List.iter2
+    (fun r (m : C.Rewritten.rule_meta) ->
+      match m.C.Rewritten.kind with
+      | C.Rewritten.Magic_def _ ->
+        Alcotest.(check int)
+          (Fmt.str "single-literal magic rule %a" Rule.pp r)
+          1
+          (List.length r.Rule.body)
+      | _ -> ())
+    (Program.rules rw.C.Rewritten.program)
+    rw.C.Rewritten.meta
+
+let suite =
+  [
+    Alcotest.test_case "phi trimming" `Quick test_sup_vars_trimming;
+    Alcotest.test_case "phi drops dead vars" `Quick test_sup_vars_drop_dead;
+    Alcotest.test_case "no sup without arcs" `Quick test_no_arc_rule_has_no_sup;
+    Alcotest.test_case "unsimplified sup_1" `Quick test_unsimplified_keeps_sup_1;
+    Alcotest.test_case "magic rules read sup" `Quick test_gsms_magic_defined_from_sup;
+  ]

@@ -1,0 +1,84 @@
+open Datalog
+open Helpers
+
+let check_term = Alcotest.testable Term.pp Term.equal
+
+let test_eval_ground () =
+  Alcotest.check check_term "1 + 2" (Term.Int 3) (Term.eval (term "1 + 2"));
+  Alcotest.check check_term "2 * 3 + 1" (Term.Int 7) (Term.eval (term "2 * 3 + 1"));
+  Alcotest.check check_term "(2 + 2) * 3" (Term.Int 12) (Term.eval (term "(2 + 2) * 3"));
+  Alcotest.check check_term "7 / 2" (Term.Int 3) (Term.eval (term "7 / 2"));
+  Alcotest.check check_term "precedence" (Term.Int 7) (Term.eval (term "1 + 2 * 3"))
+
+let test_eval_symbolic () =
+  (* unbound variables leave the arithmetic symbolic *)
+  let t = Term.eval (term "X + 1") in
+  Alcotest.check check_term "X + 1 stays" (Term.Add (Term.Var "X", Term.Int 1)) t;
+  (* inner ground parts still reduce *)
+  Alcotest.check check_term "X + (1 + 1)"
+    (Term.Add (Term.Var "X", Term.Int 2))
+    (Term.eval (Term.Add (Term.Var "X", Term.Add (Term.Int 1, Term.Int 1))))
+
+let test_eval_errors () =
+  Alcotest.check_raises "div by zero" (Invalid_argument "Term.eval: division by zero")
+    (fun () -> ignore (Term.eval (term "1 / 0")));
+  Alcotest.check_raises "arith over symbol"
+    (Invalid_argument "Term.eval: arithmetic over non-integer") (fun () ->
+      ignore (Term.eval (Term.Add (Term.Sym "a", Term.Int 1))))
+
+let test_vars () =
+  Alcotest.(check (list string))
+    "first-occurrence order" [ "X"; "Y"; "Z" ]
+    (Term.vars (term "f(X, g(Y, X), Z)"));
+  Alcotest.(check (list string)) "ground" [] (Term.vars (term "f(a, 1, [b, c])"))
+
+let test_size () =
+  (* the paper's |t|: constants have length 1, f(t1..tn) is 1 + sum *)
+  Alcotest.(check int) "|a|" 1 (Term.size (term "a"));
+  Alcotest.(check int) "|f(a,b)|" 3 (Term.size (term "f(a, b)"));
+  Alcotest.(check int) "|[a]| = cons(a,nil)" 3 (Term.size (term "[a]"));
+  Alcotest.(check int) "|X.X| >= via vars" 3 (Term.size (term "f(X, X)"))
+
+let test_lists () =
+  Alcotest.check check_term "sugar" (term "[a, b]") (Term.list [ Term.Sym "a"; Term.Sym "b" ]);
+  Alcotest.check check_term "cons tail" (term "[a | T]") (Term.cons (Term.Sym "a") (Term.Var "T"));
+  Alcotest.(check string) "pp proper" "[a, b]" (Term.to_string (term "[a, b]"));
+  Alcotest.(check string) "pp improper" "[a | T]" (Term.to_string (term "[a | T]"))
+
+let test_rename () =
+  Alcotest.check check_term "rename"
+    (term "f(X1, Y1)")
+    (Term.rename (fun v -> v ^ "1") (term "f(X, Y)"))
+
+let prop_print_parse_roundtrip =
+  qtest "print/parse roundtrip" gen_term (fun t ->
+      Term.equal t (term (Term.to_string t)))
+
+let prop_ground_has_no_vars =
+  qtest "is_ground iff vars empty" gen_term (fun t ->
+      Term.is_ground t = (Term.vars t = []))
+
+let prop_size_positive = qtest "size >= 1" gen_term (fun t -> Term.size t >= 1)
+
+let prop_equal_refl =
+  qtest "equal reflexive, compare consistent" (QCheck2.Gen.pair gen_term gen_term)
+    (fun (a, b) ->
+      Term.equal a a
+      && Term.compare a a = 0
+      && Term.equal a b = (Term.compare a b = 0)
+      && (not (Term.equal a b)) || Term.hash a = Term.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "eval ground" `Quick test_eval_ground;
+    Alcotest.test_case "eval symbolic" `Quick test_eval_symbolic;
+    Alcotest.test_case "eval errors" `Quick test_eval_errors;
+    Alcotest.test_case "vars" `Quick test_vars;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "lists" `Quick test_lists;
+    Alcotest.test_case "rename" `Quick test_rename;
+    prop_print_parse_roundtrip;
+    prop_ground_has_no_vars;
+    prop_size_positive;
+    prop_equal_refl;
+  ]

@@ -1,0 +1,78 @@
+open Datalog
+open Helpers
+
+let test_sld_datalog () =
+  let p, q, edb =
+    load "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y). e(a,b). e(b,c). ?- t(a, ?)."
+  in
+  let r = Engine.Topdown.sld p ~edb q in
+  Alcotest.(check bool) "complete" true r.Engine.Topdown.complete;
+  Alcotest.(check int) "answers" 2 (List.length r.Engine.Topdown.answers)
+
+let test_sld_depth_bound () =
+  (* left recursion loops; the depth bound truncates and reports it *)
+  let p, q, edb =
+    load "t(X,Y) :- t(X,Z), e(Z,Y). t(X,Y) :- e(X,Y). e(a,b). ?- t(a, ?)."
+  in
+  let r = Engine.Topdown.sld ~max_depth:50 p ~edb q in
+  Alcotest.(check bool) "truncated" false r.Engine.Topdown.complete
+
+let test_tabled_left_recursion () =
+  (* tabling handles left recursion that defeats SLD *)
+  let p, q, edb =
+    load "t(X,Y) :- t(X,Z), e(Z,Y). t(X,Y) :- e(X,Y). e(a,b). e(b,c). e(c,a). ?- t(a, ?)."
+  in
+  let r = Engine.Topdown.tabled p ~edb q in
+  Alcotest.(check bool) "complete" true r.Engine.Topdown.complete;
+  Alcotest.(check int) "answers" 3 (List.length r.Engine.Topdown.answers)
+
+let test_tabled_counts_subqueries () =
+  let p, q, edb =
+    load "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y). e(a,b). e(b,c). e(b,d). ?- t(a, ?)."
+  in
+  let r = Engine.Topdown.tabled p ~edb q in
+  (* subqueries: t(a,?), t(b,?), t(c,?), t(d,?) *)
+  Alcotest.(check int) "tabled calls" 4 r.Engine.Topdown.stats.Engine.Stats.subqueries
+
+let test_sld_function_symbols () =
+  let p = Workload.Programs.list_reverse in
+  let q = Workload.Programs.reverse_query (Workload.Generate.list_of_ints 5) in
+  let r = Engine.Topdown.sld ~max_depth:200 p ~edb:(Engine.Database.create ()) q in
+  match r.Engine.Topdown.answers with
+  | [ t ] ->
+    Alcotest.(check bool)
+      "reversed" true
+      (Term.equal t.(1) (Term.list (List.rev (List.init 5 (fun i -> Term.Int i)))))
+  | _ -> Alcotest.fail "expected one answer"
+
+let test_negation_as_failure () =
+  let p, q, edb =
+    load "ok(X) :- n(X), not bad(X). bad(b). n(a). n(b). ?- ok(?)."
+  in
+  let r = Engine.Topdown.sld p ~edb q in
+  Alcotest.(check int) "one ok" 1 (List.length r.Engine.Topdown.answers)
+
+let prop_topdown_matches_bottom_up =
+  qtest ~count:50 "tabled = seminaive on random graphs" gen_edges (fun edges ->
+      let p = Workload.Programs.transitive_closure in
+      let edb = Engine.Database.of_facts (edges_to_facts ~pred:"edge" edges) in
+      let q = Workload.Programs.tc_query (Term.Sym "n0") in
+      let bu =
+        List.sort Engine.Tuple.compare
+          (Engine.Eval.answers (Engine.Eval.seminaive p ~edb) q)
+      in
+      let td =
+        List.sort Engine.Tuple.compare (Engine.Topdown.tabled p ~edb q).Engine.Topdown.answers
+      in
+      List.equal Engine.Tuple.equal bu td)
+
+let suite =
+  [
+    Alcotest.test_case "sld datalog" `Quick test_sld_datalog;
+    Alcotest.test_case "sld depth bound" `Quick test_sld_depth_bound;
+    Alcotest.test_case "tabled left recursion" `Quick test_tabled_left_recursion;
+    Alcotest.test_case "tabled subquery count" `Quick test_tabled_counts_subqueries;
+    Alcotest.test_case "sld function symbols" `Quick test_sld_function_symbols;
+    Alcotest.test_case "negation as failure" `Quick test_negation_as_failure;
+    prop_topdown_matches_bottom_up;
+  ]

@@ -1,0 +1,48 @@
+open Helpers
+module C = Magic_core
+
+let ad () =
+  C.Adorn.adorn Workload.Programs.nonlinear_same_generation
+    (Workload.Programs.same_generation_query (term "j"))
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_sip_dot () =
+  let ad = ad () in
+  let ar = List.nth ad.C.Adorn.rules 1 in
+  let dot = C.Viz.sip_dot ~rule:ar.C.Adorn.rule ar.C.Adorn.sip in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph G {");
+  Alcotest.(check bool) "head node" true (contains dot "sg_bf_h");
+  Alcotest.(check bool) "numbered occurrence" true (contains dot "sg_bf.1");
+  Alcotest.(check bool) "label Z1" true (contains dot "Z1")
+
+let test_dependency_dot () =
+  let dot = C.Viz.dependency_dot Workload.Programs.nested_same_generation in
+  Alcotest.(check bool) "p depends on sg" true (contains dot "\"p/2\" -> \"sg/2\"");
+  let neg = C.Viz.dependency_dot (program "a(X) :- b(X), not c(X). c(X) :- d(X).") in
+  Alcotest.(check bool) "negative dashed" true (contains neg "style=dashed")
+
+let test_binding_graph_dot () =
+  let dot = C.Viz.binding_graph_dot (ad ()) in
+  Alcotest.(check bool) "adorned node" true (contains dot "sg^bf");
+  Alcotest.(check bool) "length label" true (contains dot "|X|")
+
+let test_argument_graph_dot () =
+  let ad2 =
+    C.Adorn.adorn Workload.Programs.nonlinear_ancestor
+      (Workload.Programs.ancestor_query (term "j"))
+  in
+  let dot = C.Viz.argument_graph_dot ad2 in
+  (* the Theorem 10.3 self-loop *)
+  Alcotest.(check bool) "self loop" true (contains dot "\"a^bf#0\" -> \"a^bf#0\"")
+
+let suite =
+  [
+    Alcotest.test_case "sip dot" `Quick test_sip_dot;
+    Alcotest.test_case "dependency dot" `Quick test_dependency_dot;
+    Alcotest.test_case "binding graph dot" `Quick test_binding_graph_dot;
+    Alcotest.test_case "argument graph dot" `Quick test_argument_graph_dot;
+  ]

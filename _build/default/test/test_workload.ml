@@ -1,0 +1,81 @@
+open Datalog
+open Helpers
+module G = Workload.Generate
+
+let test_chain () =
+  let facts = G.chain ~pred:"p" 5 in
+  Alcotest.(check int) "5 edges" 5 (List.length facts);
+  Alcotest.(check bool) "first" true (Atom.equal (List.hd facts) (atom "p(n_0, n_1)"))
+
+let test_cycle () =
+  let facts = G.cycle 4 in
+  Alcotest.(check int) "4 edges" 4 (List.length facts);
+  Alcotest.(check bool)
+    "closes" true
+    (List.exists (Atom.equal (atom "edge(n_3, n_0)")) facts)
+
+let test_tree () =
+  let facts = G.tree ~branching:2 ~depth:3 () in
+  (* complete binary tree of depth 3: 2 + 4 + 8 = 14 edges *)
+  Alcotest.(check int) "14 edges" 14 (List.length facts)
+
+let test_random_graph_deterministic () =
+  let a = G.random_graph ~nodes:20 ~edges:40 ~seed:7 () in
+  let b = G.random_graph ~nodes:20 ~edges:40 ~seed:7 () in
+  let c = G.random_graph ~nodes:20 ~edges:40 ~seed:8 () in
+  Alcotest.(check bool) "same seed same graph" true (List.equal Atom.equal a b);
+  Alcotest.(check bool) "different seed differs" false (List.equal Atom.equal a c);
+  Alcotest.(check int) "edge count" 40 (List.length a);
+  Alcotest.(check int)
+    "distinct edges" 40
+    (List.length (List.sort_uniq Atom.compare a))
+
+let test_same_generation_shape () =
+  let facts = G.same_generation ~width:3 ~height:2 in
+  let count p = List.length (List.filter (fun a -> a.Atom.pred = p) facts) in
+  Alcotest.(check int) "ups" 6 (count "up");
+  Alcotest.(check int) "downs" 6 (count "down");
+  Alcotest.(check int) "flats" 6 (count "flat")
+
+let test_same_generation_semantics () =
+  (* same-generation of the grid root are exactly the level-0 nodes of the
+     other towers (reachable left to right) *)
+  let edb = G.db (G.same_generation ~width:4 ~height:3) in
+  let r =
+    run_method "gms" Workload.Programs.nonlinear_same_generation
+      (Workload.Programs.same_generation_query (term "sg_0_0"))
+      edb
+  in
+  List.iter
+    (fun t ->
+      match Term.to_string t.(1) with
+      | s when String.length s > 5 ->
+        Alcotest.(check char) "same level" '0' s.[String.length s - 1]
+      | s -> Alcotest.failf "unexpected node %s" s)
+    r.Magic_core.Rewrite.answers
+
+let test_list_of_ints () =
+  Alcotest.(check bool)
+    "list term" true
+    (Term.equal (G.list_of_ints 3) (term "[0, 1, 2]"))
+
+let test_rng_bounds () =
+  let r = G.rng 42 in
+  let all_in_bounds = ref true in
+  for _ = 1 to 1000 do
+    let v = G.next r ~bound:17 in
+    if v < 0 || v >= 17 then all_in_bounds := false
+  done;
+  Alcotest.(check bool) "in bounds" true !all_in_bounds
+
+let suite =
+  [
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "tree" `Quick test_tree;
+    Alcotest.test_case "random graph" `Quick test_random_graph_deterministic;
+    Alcotest.test_case "same-generation shape" `Quick test_same_generation_shape;
+    Alcotest.test_case "same-generation semantics" `Quick test_same_generation_semantics;
+    Alcotest.test_case "list of ints" `Quick test_list_of_ints;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+  ]
