@@ -1,6 +1,9 @@
 (* Bench harness: regenerates every appendix table (A2-A6) and measured
    experiment (P1-P8) of DESIGN.md.  Run all tables with
-   `dune exec bench/main.exe`, or one with `-- --table P4`. *)
+   `dune exec bench/main.exe`, or one with `-- --table P4`.
+   With `--json`, writes machine-readable P1/P8 series and the
+   reference-vs-plan engine comparison to BENCH_engine.json instead
+   (`-- --table P1 --json` restricts to one series). *)
 
 open Datalog
 module C = Magic_core
@@ -314,32 +317,33 @@ let table_p7 () =
 (* P8: wall-clock sweep (bechamel)                                     *)
 (* ------------------------------------------------------------------ *)
 
+let p8_workloads () =
+  [
+    ( "ancestor-chain-120-mid",
+      P.ancestor,
+      P.ancestor_query (G.node "n" 60),
+      (* the query's cone has depth 60, within the numeric index range;
+         gc-path measures the price of structured index terms *)
+      G.db (G.chain ~pred:"p" 120),
+      [
+        "naive"; "seminaive"; "sld"; "tabled"; "gms"; "gsms"; "gc"; "gc-sj"; "gc-path";
+      ] );
+    ( "samegen-grid-8x6",
+      P.nonlinear_same_generation,
+      P.same_generation_query (Term.Sym "sg_0_0"),
+      G.db (G.same_generation ~width:8 ~height:6),
+      [ "naive"; "seminaive"; "tabled"; "gms"; "gsms" ] );
+    ( "reverse-20",
+      P.list_reverse,
+      P.reverse_query (G.list_of_ints 20),
+      Engine.Database.create (),
+      [ "sld"; "gms"; "gsms"; "gc"; "gsc" ] );
+  ]
+
 let table_p8 () =
   header "Table P8 — wall-clock comparison (bechamel, ns/run)";
   let open Bechamel in
-  let workloads =
-    [
-      ( "ancestor-chain-120-mid",
-        P.ancestor,
-        P.ancestor_query (G.node "n" 60),
-        (* the query's cone has depth 60, within the numeric index range;
-           gc-path measures the price of structured index terms *)
-        G.db (G.chain ~pred:"p" 120),
-        [
-          "naive"; "seminaive"; "sld"; "tabled"; "gms"; "gsms"; "gc"; "gc-sj"; "gc-path";
-        ] );
-      ( "samegen-grid-8x6",
-        P.nonlinear_same_generation,
-        P.same_generation_query (Term.Sym "sg_0_0"),
-        G.db (G.same_generation ~width:8 ~height:6),
-        [ "naive"; "seminaive"; "tabled"; "gms"; "gsms" ] );
-      ( "reverse-20",
-        P.list_reverse,
-        P.reverse_query (G.list_of_ints 20),
-        Engine.Database.create (),
-        [ "sld"; "gms"; "gsms"; "gc"; "gsc" ] );
-    ]
-  in
+  let workloads = p8_workloads () in
   List.iter
     (fun (wname, p, q, edb, methods) ->
       let tests =
@@ -378,6 +382,154 @@ let table_p8 () =
      reverse-20.@."
 
 (* ------------------------------------------------------------------ *)
+(* --json: machine-readable series for P1 and P8, written to           *)
+(* BENCH_engine.json.  The committed baseline records the plan-compiled *)
+(* engine's before/after numbers against the reference semi-naive.     *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* wall clocks are noisy: report the fastest of [repeat] runs, but
+   re-run only while the measurement is fast — noise is relative, and
+   repeating multi-second runs would make the smoke invocation crawl *)
+let timed ?(repeat = 3) f =
+  let result, t0 = time f in
+  let best = ref t0 in
+  let n = ref 1 in
+  while !n < repeat && !best < 0.5 do
+    incr n;
+    let _, t = time f in
+    if t < !best then best := t
+  done;
+  (result, !best)
+
+let jstr s = Fmt.str "%S" s
+let jfield k v = Fmt.str "%S: %s" k v
+let jobj fields = "{" ^ String.concat ", " fields ^ "}"
+let jarray rows = "[\n    " ^ String.concat ",\n    " rows ^ "\n  ]"
+
+let jstats (s : Engine.Stats.t) t =
+  [
+    jfield "iterations" (string_of_int s.Engine.Stats.iterations);
+    jfield "firings" (string_of_int s.Engine.Stats.firings);
+    jfield "facts" (string_of_int s.Engine.Stats.facts);
+    jfield "rederivations" (string_of_int s.Engine.Stats.rederivations);
+    jfield "probes" (string_of_int s.Engine.Stats.probes);
+    jfield "time_s" (Fmt.str "%.6f" t);
+  ]
+
+let jresult ~workload ~meth (r : C.Rewrite.result) t =
+  jobj
+    ([
+       jfield "workload" (jstr workload);
+       jfield "method" (jstr meth);
+       jfield "status" (jstr (status_string r.C.Rewrite.status));
+     ]
+    @ jstats r.C.Rewrite.stats t
+    @ [ jfield "answers" (string_of_int (List.length r.C.Rewrite.answers)) ])
+
+(* the P1 fact/probe series: the workloads of table P1, timed *)
+let json_p1 () =
+  let rows = ref [] in
+  let case workload meth p q edb =
+    let r, t = timed (fun () -> run meth p q edb) in
+    rows := jresult ~workload ~meth r t :: !rows
+  in
+  List.iter
+    (fun n ->
+      let edb = G.db (G.chain ~pred:"p" n) in
+      let q = P.ancestor_query (G.node "n" (n / 2)) in
+      List.iter
+        (fun m -> case (Fmt.str "chain n=%d, query mid" n) m P.ancestor q edb)
+        [ "naive"; "seminaive"; "gms" ])
+    [ 100; 200; 400 ];
+  List.iter
+    (fun (nodes, edges) ->
+      let facts = G.random_graph ~pred:"edge" ~nodes ~edges ~seed:11 () in
+      let edb = G.db facts in
+      let q = P.tc_query (List.hd (List.hd facts).Atom.args) in
+      List.iter
+        (fun m ->
+          case
+            (Fmt.str "random %d nodes %d edges" nodes edges)
+            m P.transitive_closure q edb)
+        [ "naive"; "seminaive"; "gms" ])
+    [ (200, 300); (400, 600) ];
+  jarray (List.rev !rows)
+
+(* the P8 time series: the workloads of table P8, wall-clock timed *)
+let json_p8 () =
+  let rows = ref [] in
+  List.iter
+    (fun (wname, p, q, edb, methods) ->
+      List.iter
+        (fun m ->
+          let r, t = timed (fun () -> run ~max_facts:2_000_000 m p q edb) in
+          rows := jresult ~workload:wname ~meth:m r t :: !rows)
+        methods)
+    (p8_workloads ());
+  jarray (List.rev !rows)
+
+(* before/after: the uncompiled reference semi-naive engine vs the
+   plan-compiled one, on the GMS-rewritten ancestor query over a chain
+   of 2000 — the acceptance workload of the plan layer *)
+let json_engine_speedup () =
+  let n = 2000 in
+  let edb = G.db (G.chain ~pred:"p" n) in
+  let q = P.ancestor_query (G.node "n" (n / 2)) in
+  let rw = C.Magic_sets.rewrite (C.Adorn.adorn P.ancestor q) in
+  let side engine =
+    (* the headline number: always best-of-2, even at multi-second cost *)
+    let out, t1 = time (fun () -> C.Rewritten.run ~engine rw ~edb) in
+    let _, t2 = time (fun () -> C.Rewritten.run ~engine rw ~edb) in
+    (out, C.Rewritten.answers rw out, Float.min t1 t2)
+  in
+  let ref_out, ref_ans, ref_t = side `Seminaive_reference in
+  let plan_out, plan_ans, plan_t = side `Seminaive in
+  assert (ref_ans = plan_ans);
+  let engine_obj (out : Engine.Eval.outcome) t =
+    jobj (jstats out.Engine.Eval.stats t)
+  in
+  jobj
+    [
+      jfield "workload" (jstr (Fmt.str "chain n=%d, query mid, gms rewrite" n));
+      jfield "answers" (string_of_int (List.length plan_ans));
+      jfield "reference_seminaive" (engine_obj ref_out ref_t);
+      jfield "plan_seminaive" (engine_obj plan_out plan_t);
+      jfield "speedup" (Fmt.str "%.2f" (ref_t /. plan_t));
+    ]
+
+let emit_json only =
+  let sections =
+    match only with
+    | None ->
+      [
+        ("p1", json_p1 ());
+        ("p8", json_p8 ());
+        ("engine_speedup", json_engine_speedup ());
+      ]
+    | Some "P1" -> [ ("p1", json_p1 ()) ]
+    | Some "P8" -> [ ("p8", json_p8 ()) ]
+    | Some id ->
+      Fmt.epr "--json supports tables P1 and P8, not %s@." id;
+      exit 1
+  in
+  let doc =
+    "{\n"
+    ^ String.concat ",\n"
+        (List.map (fun (k, v) -> Fmt.str "  %S: %s" k v) sections)
+    ^ "\n}\n"
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc doc;
+  close_out oc;
+  Fmt.pr "wrote BENCH_engine.json (%s)@."
+    (String.concat ", " (List.map fst sections))
+
+(* ------------------------------------------------------------------ *)
 
 let tables =
   [
@@ -397,14 +549,21 @@ let tables =
   ]
 
 let () =
-  let args = Array.to_list Sys.argv in
-  match args with
-  | _ :: "--table" :: id :: _ -> begin
-    match List.assoc_opt (String.uppercase_ascii id) tables with
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let rec table_of = function
+    | "--table" :: id :: _ -> Some (String.uppercase_ascii id)
+    | _ :: rest -> table_of rest
+    | [] -> None
+  in
+  match (json, table_of args) with
+  | true, only -> emit_json only
+  | false, Some id -> begin
+    match List.assoc_opt id tables with
     | Some f -> f ()
     | None ->
       Fmt.epr "unknown table %s (available: %s)@." id
         (String.concat ", " (List.map fst tables));
       exit 1
   end
-  | _ -> List.iter (fun (_, f) -> f ()) tables
+  | false, None -> List.iter (fun (_, f) -> f ()) tables

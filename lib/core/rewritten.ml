@@ -38,6 +38,8 @@ let run ?(engine = `Seminaive) ?max_iterations ?max_facts t ~edb =
   match engine with
   | `Seminaive -> Engine.Eval.seminaive ?max_iterations ?max_facts t.program ~edb:edb'
   | `Naive -> Engine.Eval.naive ?max_iterations ?max_facts t.program ~edb:edb'
+  | `Seminaive_reference ->
+    Engine.Eval.seminaive_reference ?max_iterations ?max_facts t.program ~edb:edb'
 
 (* re-insert dropped constants at their original positions *)
 let restore_tuple restore args =

@@ -47,7 +47,7 @@ val strip_indices : t -> Atom.t -> Atom.t
     when [index_fields = 0]). *)
 
 val run :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:[ `Naive | `Seminaive | `Seminaive_reference ] ->
   ?max_iterations:int ->
   ?max_facts:int ->
   t ->
@@ -55,7 +55,8 @@ val run :
   Engine.Eval.outcome
 (** Evaluate the rewritten program bottom-up: the seeds are added to a
     copy of the EDB and the program is run to fixpoint (default
-    semi-naive). *)
+    semi-naive; [`Seminaive_reference] is the uncompiled seed engine,
+    kept for differential testing and before/after benchmarks). *)
 
 val answers : t -> Engine.Eval.outcome -> Engine.Tuple.t list
 (** Answer tuples for the query: facts of the query's (indexed) predicate

@@ -27,6 +27,9 @@ let mem db a =
   | None -> false
   | Some r -> Relation.mem r (Array.of_list (List.map Term.eval a.Atom.args))
 
+let mem_tuple db sym t =
+  match find db sym with None -> false | Some r -> Relation.mem r t
+
 let of_facts facts =
   let db = create () in
   List.iter (fun a -> ignore (add_fact db a)) facts;
@@ -54,7 +57,10 @@ let copy db =
 
 let merge_into ~dst ~src =
   Symbol.Tbl.iter
-    (fun sym r -> Relation.iter (fun t -> ignore (add_tuple dst sym t)) r)
+    (fun sym r ->
+      (* resolve the destination relation once per symbol, not per tuple *)
+      let dst_rel = relation dst sym in
+      Relation.iter (fun t -> ignore (Relation.add dst_rel t)) r)
     src
 
 let pp ppf db =

@@ -19,6 +19,10 @@ val add_fact : t -> Atom.t -> bool
 
 val add_tuple : t -> Symbol.t -> Tuple.t -> bool
 val mem : t -> Atom.t -> bool
+
+(** Membership on the raw tuple level; no arithmetic evaluation. *)
+val mem_tuple : t -> Symbol.t -> Tuple.t -> bool
+
 val of_facts : Atom.t list -> t
 val facts : t -> Symbol.t -> Atom.t list
 val all_facts : t -> Atom.t list

@@ -15,9 +15,15 @@ let make_budget ?max_iterations ?max_facts () =
     left_facts = Option.value ~default:max_int max_facts;
   }
 
+let exhausted budget = budget.left_iterations <= 0 || budget.left_facts <= 0
+
 let spend_fact budget =
   budget.left_facts <- budget.left_facts - 1;
   if budget.left_facts <= 0 then raise Budget_exhausted
+
+let start_round ~stats ~budget =
+  budget.left_iterations <- budget.left_iterations - 1;
+  stats.Stats.iterations <- stats.Stats.iterations + 1
 
 (* Group the program's rules by stratum; within a stratum both engines run
    a fixpoint.  Positive programs have a single stratum. *)
@@ -37,49 +43,180 @@ let strata program =
 
 let full_source db sym = Database.find db sym
 
-(* One naive round: fire all rules against the full database.  Returns the
+(* ------------------------------------------------------------------ *)
+(* Plan-compiled engines                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One naive round: fire all plans against the full database.  Returns the
    number of new facts. *)
-let naive_round ~stats ~budget db rules =
+let naive_round ~stats ~budget db plans =
   let added = ref 0 in
+  let source = Plan.db_source db in
   List.iter
-    (fun rule ->
-      Solve.fire_rule ~stats ~source:(fun _ -> full_source db)
-        ~neg_source:(full_source db)
-        ~on_fact:(fun head ->
-          let sym = Atom.symbol head in
-          let is_new = Database.add_fact db head in
+    (fun plan ->
+      Plan.run ~stats ~source ~neg_source:(full_source db)
+        ~on_fact:(fun sym tuple ->
+          let is_new = Database.add_tuple db sym tuple in
           Stats.record_fact stats sym ~is_new;
           if is_new then begin
             incr added;
             spend_fact budget
           end)
-        rule)
-    rules;
+        plan.Plan.base)
+    plans;
   !added
 
 let run_stratum_naive ~stats ~budget db rules =
+  let plans = Plan.compile_stratum rules in
   let continue = ref true in
   let diverged = ref false in
   while !continue do
-    if budget.left_iterations <= 0 || budget.left_facts <= 0 then begin
+    if exhausted budget then begin
       diverged := true;
       continue := false
     end
     else begin
-      budget.left_iterations <- budget.left_iterations - 1;
-      stats.Stats.iterations <- stats.Stats.iterations + 1;
-      let added = naive_round ~stats ~budget db rules in
+      start_round ~stats ~budget;
+      let added = naive_round ~stats ~budget db plans in
       if added = 0 then continue := false
     end
   done;
   !diverged
 
-(* Semi-naive: [delta] holds the facts derived in the previous round.  For
-   each rule and each derived positive body literal position, evaluate with
+(* Semi-naive with the delta/old/new discipline, over stamp-range views
+   of single stored relations ({!Relation}).  For each stratum-head
+   predicate, two watermarks partition its insertion log:
+
+     old    = [0, o)      facts up to the round before last
+     delta  = [o, d)      facts of the last round
+     new    = [0, d)      their union
+
+   Facts derived during a round are appended beyond [d], so they are
+   invisible to the round's own views; rotating the watermarks
+   ([o := d; d := size]) ends the round — there is nothing to merge, and
+   a budget abort needs no repair since every fact is already in [db].
+
+   For each rule and each delta position [i] (a body position whose
+   predicate grows in this stratum), one plan instance runs with
+   positions [< i] reading old, position [i] reading delta and positions
+   [> i] reading new, so a rule instantiation whose delta-position facts
+   were derived in rounds r_1..r_m, max r_j = k, is enumerated exactly
+   once: by the instance at the first position with r_i = k.  The seed
+   engine read "delta at i, full db elsewhere", which re-derived every
+   instantiation joining two same-round facts once per such position. *)
+let run_stratum_seminaive ~stats ~budget db rules =
+  let plans = Plan.compile_stratum rules in
+  let marks =
+    List.map
+      (fun sym ->
+        let rel = Database.relation db sym in
+        (sym, rel, ref 0, ref (Relation.size rel)))
+      (List.sort_uniq Symbol.compare
+         (List.map (fun r -> Atom.symbol r.Rule.head) rules))
+  in
+  let mark_of sym = List.find_opt (fun (s, _, _, _) -> Symbol.equal s sym) marks in
+  let has_delta () = List.exists (fun (_, _, o, d) -> !o <> !d) marks in
+  let rotate () = List.iter (fun (_, rel, o, d) -> o := !d; d := Relation.size rel) marks in
+  (* one recorder per plan: the head predicate of every instance of a rule
+     is the rule's own head predicate, so its relation can be resolved
+     once per stratum *)
+  let recorder plan =
+    let hsym = Atom.symbol plan.Plan.rule.Rule.head in
+    let hrel = Database.relation db hsym in
+    fun sym tuple ->
+      let is_new =
+        if Symbol.equal sym hsym then Relation.add hrel tuple
+        else Database.add_tuple db sym tuple
+      in
+      Stats.record_fact stats sym ~is_new;
+      if is_new then spend_fact budget
+  in
+  let recorders = List.map (fun plan -> (plan, recorder plan)) plans in
+  let diverged = ref false in
+  if exhausted budget then diverged := true
+  else begin
+    try
+      (* round 0: all rules fire with their base (left-to-right) instance
+         against the database as-is — the EDB, lower strata and any seed
+         facts play the role of the delta; in-round derivations land
+         beyond the [d] watermark and are invisible until rotation *)
+      start_round ~stats ~budget;
+      let source0 _ sym =
+        match mark_of sym with
+        | Some (_, rel, _, d) -> Some { Plan.rel; lo = 0; hi = !d }
+        | None -> Option.map Plan.full (Database.find db sym)
+      in
+      List.iter
+        (fun (plan, record) ->
+          Plan.run ~stats ~source:source0 ~neg_source:(full_source db) ~on_fact:record
+            plan.Plan.base)
+        recorders;
+      rotate ();
+      let continue = ref (has_delta ()) in
+      while !continue do
+        if exhausted budget then begin
+          diverged := true;
+          continue := false
+        end
+        else begin
+          start_round ~stats ~budget;
+          List.iter
+            (fun (plan, record) ->
+              let body = Array.of_list plan.Plan.rule.Rule.body in
+              List.iter
+                (fun (dpos, instance) ->
+                  (* the view a body position reads is fixed for the whole
+                     round: resolve it here, not on every probe *)
+                  let srcs =
+                    Array.mapi
+                      (fun lit lm ->
+                        match lm with
+                        | Rule.Pos a when not (Atom.is_builtin a) -> begin
+                          let sym = Atom.symbol a in
+                          match mark_of sym with
+                          | Some (_, rel, o, d) ->
+                            if lit = dpos then Some { Plan.rel; lo = !o; hi = !d }
+                            else if lit < dpos then Some { Plan.rel; lo = 0; hi = !o }
+                            else Some { Plan.rel; lo = 0; hi = !d }
+                          | None ->
+                            Option.map Plan.full (Database.find db sym)
+                        end
+                        | Rule.Pos _ | Rule.Neg _ -> None)
+                      body
+                  in
+                  let delta_empty =
+                    match srcs.(dpos) with
+                    | Some v -> v.Plan.lo = v.Plan.hi
+                    | None -> true
+                  in
+                  if not delta_empty then
+                    Plan.run ~stats
+                      ~source:(fun lit _ -> srcs.(lit))
+                      ~neg_source:(full_source db) ~on_fact:record instance)
+                plan.Plan.delta)
+            recorders;
+          rotate ();
+          if not (has_delta ()) then continue := false
+        end
+      done
+    with Budget_exhausted | Term.Arithmetic_overflow ->
+      (* every recorded fact is already in [db]; nothing to repair *)
+      diverged := true
+  end;
+  !diverged
+
+(* ------------------------------------------------------------------ *)
+(* Reference semi-naive (the seed engine's semantics)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Kept verbatim from the pre-plan engine (modulo the round-0 budget
+   fix): [delta] holds the facts derived in the previous round; for each
+   rule and each derived positive body literal position, evaluate with
    that literal reading [delta] and every other literal reading the full
-   database.  Rules without derived body literals fire only in round 0. *)
-let run_stratum_seminaive ~stats ~budget ~derived db rules =
-  (* positions of derived positive body literals, per rule *)
+   database.  This re-derives instantiations that join two previous-round
+   facts once per delta position; it serves as the differential-testing
+   baseline and the "before" engine of BENCH_engine.json. *)
+let run_stratum_seminaive_reference ~stats ~budget ~derived db rules =
   let positions_of rule =
     List.filter_map
       (fun (i, lit) ->
@@ -90,66 +227,74 @@ let run_stratum_seminaive ~stats ~budget ~derived db rules =
         | Rule.Pos _ | Rule.Neg _ -> None)
       (List.mapi (fun i lit -> (i, lit)) rule.Rule.body)
   in
-  let round_facts = Database.create () in
-  let record head =
-    let sym = Atom.symbol head in
-    let is_new = (not (Database.mem db head)) && Database.add_fact round_facts head in
-    Stats.record_fact stats sym ~is_new;
-    if is_new then spend_fact budget
-  in
-  (* round 0: all rules fire against the database as-is (delta = EDB) *)
-  stats.Stats.iterations <- stats.Stats.iterations + 1;
-  budget.left_iterations <- budget.left_iterations - 1;
-  List.iter
-    (fun rule ->
-      Solve.fire_rule ~stats ~source:(fun _ -> full_source db)
-        ~neg_source:(full_source db) ~on_fact:record rule)
-    rules;
-  Database.merge_into ~dst:db ~src:round_facts;
-  let delta = ref round_facts in
-  let diverged = ref false in
-  let continue = ref (Database.total !delta > 0) in
-  while !continue do
-    if budget.left_iterations <= 0 || budget.left_facts <= 0 then begin
-      diverged := true;
-      continue := false
-    end
-    else begin
-      budget.left_iterations <- budget.left_iterations - 1;
-      stats.Stats.iterations <- stats.Stats.iterations + 1;
-      let next = Database.create () in
-      let record head =
-        let sym = Atom.symbol head in
-        let is_new = (not (Database.mem db head)) && Database.add_fact next head in
-        Stats.record_fact stats sym ~is_new;
-        if is_new then spend_fact budget
-      in
-      List.iter
-        (fun rule ->
-          List.iter
-            (fun dpos ->
-              let source i sym =
-                if i = dpos then Database.find !delta sym else Database.find db sym
-              in
-              Solve.fire_rule ~stats ~source ~neg_source:(full_source db)
-                ~on_fact:record rule)
-            (positions_of rule))
-        rules;
-      Database.merge_into ~dst:db ~src:next;
-      delta := next;
-      if Database.total !delta = 0 then continue := false
-    end
-  done;
-  !diverged
+  if exhausted budget then true
+  else begin
+    let round_facts = Database.create () in
+    let record head =
+      let sym = Atom.symbol head in
+      let is_new = (not (Database.mem db head)) && Database.add_fact round_facts head in
+      Stats.record_fact stats sym ~is_new;
+      if is_new then spend_fact budget
+    in
+    (* round 0: all rules fire against the database as-is (delta = EDB) *)
+    start_round ~stats ~budget;
+    List.iter
+      (fun rule ->
+        Solve.fire_rule ~stats ~source:(fun _ -> full_source db)
+          ~neg_source:(full_source db) ~on_fact:record rule)
+      rules;
+    Database.merge_into ~dst:db ~src:round_facts;
+    let delta = ref round_facts in
+    let diverged = ref false in
+    let continue = ref (Database.total !delta > 0) in
+    while !continue do
+      if exhausted budget then begin
+        diverged := true;
+        continue := false
+      end
+      else begin
+        start_round ~stats ~budget;
+        let next = Database.create () in
+        let record head =
+          let sym = Atom.symbol head in
+          let is_new = (not (Database.mem db head)) && Database.add_fact next head in
+          Stats.record_fact stats sym ~is_new;
+          if is_new then spend_fact budget
+        in
+        List.iter
+          (fun rule ->
+            List.iter
+              (fun dpos ->
+                let source i sym =
+                  if i = dpos then Database.find !delta sym else Database.find db sym
+                in
+                Solve.fire_rule ~stats ~source ~neg_source:(full_source db)
+                  ~on_fact:record rule)
+              (positions_of rule))
+          rules;
+        Database.merge_into ~dst:db ~src:next;
+        delta := next;
+        if Database.total !delta = 0 then continue := false
+      end
+    done;
+    !diverged
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let answers outcome query =
   match Database.find outcome.db (Atom.symbol query) with
   | None -> []
   | Some rel ->
-    let matches t =
-      Option.is_some (Subst.match_list query.Atom.args (Tuple.to_list t) Subst.empty)
+    let matching =
+      Relation.fold
+        (fun t acc ->
+          match Subst.match_list query.Atom.args (Tuple.to_list t) Subst.empty with
+          | Some _ -> t :: acc
+          | None -> acc)
+        rel []
     in
-    List.sort Tuple.compare (List.filter matches (Relation.to_list rel))
+    List.sort Tuple.compare matching
 
 let run ~engine ?max_iterations ?max_facts program ~edb =
   let stats = Stats.create () in
@@ -163,7 +308,9 @@ let run ~engine ?max_iterations ?max_facts program ~edb =
           try
             match engine with
             | `Naive -> run_stratum_naive ~stats ~budget db rules
-            | `Seminaive -> run_stratum_seminaive ~stats ~budget ~derived db rules
+            | `Seminaive -> run_stratum_seminaive ~stats ~budget db rules
+            | `Seminaive_reference ->
+              run_stratum_seminaive_reference ~stats ~budget ~derived db rules
           with Budget_exhausted | Term.Arithmetic_overflow -> true
         in
         div || d)
@@ -176,3 +323,6 @@ let naive ?max_iterations ?max_facts program ~edb =
 
 let seminaive ?max_iterations ?max_facts program ~edb =
   run ~engine:`Seminaive ?max_iterations ?max_facts program ~edb
+
+let seminaive_reference ?max_iterations ?max_facts program ~edb =
+  run ~engine:`Seminaive_reference ?max_iterations ?max_facts program ~edb

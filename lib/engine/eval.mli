@@ -20,12 +20,26 @@ type outcome = {
 val naive :
   ?max_iterations:int -> ?max_facts:int -> Program.t -> edb:Database.t -> outcome
 (** Naive evaluation: every rule is re-evaluated against the whole database
-    in every round. *)
+    in every round.  Rules are compiled to join plans ({!Plan}) once per
+    stratum. *)
 
 val seminaive :
   ?max_iterations:int -> ?max_facts:int -> Program.t -> edb:Database.t -> outcome
 (** Semi-naive evaluation: in each round after the first, a rule instance
-    must use at least one fact derived in the previous round. *)
+    must use at least one fact derived in the previous round.  Rules are
+    compiled to join plans once per stratum, and rules with several
+    derived body literals follow the delta/old/new source discipline
+    (position [i] reads the last round's delta, positions before [i] the
+    database {e before} that round, positions after [i] their union), so
+    each instantiation is derived exactly once. *)
+
+val seminaive_reference :
+  ?max_iterations:int -> ?max_facts:int -> Program.t -> edb:Database.t -> outcome
+(** The seed engine's semi-naive evaluator (uncompiled rules, "delta at
+    one position, full database elsewhere"), kept as a differential-
+    testing baseline and as the "before" engine for BENCH_engine.json.
+    Computes the same fact sets as {!seminaive} but may re-derive
+    instantiations that join two same-round facts. *)
 
 val answers : outcome -> Atom.t -> Tuple.t list
 (** Tuples of the query's predicate matching the query atom's constant

@@ -1,61 +1,129 @@
-type index = Tuple.t list Tuple.Tbl.t
+(* Single-storage relations with insertion stamps.
+
+   Every tuple is appended once to an insertion log and stamped with its
+   log position; the hash table maps each tuple to its stamp.  A stamp
+   range [\[lo, hi)] then denotes a consistent past snapshot of the
+   relation, which is what the semi-naive engine needs: "old", "delta"
+   and "new" are ranges over one store instead of separate databases that
+   must be re-hashed and merged every round.
+
+   Index buckets hold [(stamp, tuple)] pairs in descending stamp order
+   (newest first), so a range-restricted probe skips the too-new prefix
+   and stops at the first too-old entry.  Buckets are mutable list refs,
+   so maintaining an index on insert is a single hash lookup (find +
+   in-place push); the bound positions of each index are precomputed for
+   the same reason. *)
+
+type index = (int * Tuple.t) list ref Tuple.Tbl.t
 
 type t = {
   arity : int;
-  tuples : unit Tuple.Tbl.t;
-  mutable indexes : (bool array * index) list;
+  stamps : int Tuple.Tbl.t;  (* tuple -> insertion stamp *)
+  mutable log : Tuple.t array;  (* unique tuples in insertion order *)
+  mutable len : int;
+  mutable indexes : (bool array * int list * index) list;
 }
 
-let create arity = { arity; tuples = Tuple.Tbl.create 64; indexes = [] }
+let create arity = { arity; stamps = Tuple.Tbl.create 64; log = [||]; len = 0; indexes = [] }
 let arity r = r.arity
-let cardinal r = Tuple.Tbl.length r.tuples
-let mem r t = Tuple.Tbl.mem r.tuples t
+let cardinal r = r.len
+let size = cardinal
+let mem r t = Tuple.Tbl.mem r.stamps t
+
+let mem_in r ~lo ~hi t =
+  match Tuple.Tbl.find_opt r.stamps t with
+  | None -> false
+  | Some stamp -> lo <= stamp && stamp < hi
 
 let bound_positions pattern =
   let acc = ref [] in
   Array.iteri (fun i b -> if b then acc := i :: !acc) pattern;
   List.rev !acc
 
-let index_add idx positions t =
+let index_add idx positions stamp t =
   let key = Tuple.project positions t in
-  let existing = Option.value ~default:[] (Tuple.Tbl.find_opt idx key) in
-  Tuple.Tbl.replace idx key (t :: existing)
+  match Tuple.Tbl.find_opt idx key with
+  | Some bucket -> bucket := (stamp, t) :: !bucket
+  | None -> Tuple.Tbl.add idx key (ref [ (stamp, t) ])
+
+let push r t =
+  if r.len = Array.length r.log then begin
+    let log = Array.make (max 16 (2 * r.len)) t in
+    Array.blit r.log 0 log 0 r.len;
+    r.log <- log
+  end;
+  r.log.(r.len) <- t;
+  r.len <- r.len + 1
 
 let add r t =
   if Array.length t <> r.arity then
     invalid_arg
       (Fmt.str "Relation.add: tuple %a has arity %d, expected %d" Tuple.pp t
          (Array.length t) r.arity);
-  if Tuple.Tbl.mem r.tuples t then false
+  if Tuple.Tbl.mem r.stamps t then false
   else begin
-    Tuple.Tbl.replace r.tuples t ();
-    List.iter (fun (pattern, idx) -> index_add idx (bound_positions pattern) t) r.indexes;
+    let stamp = r.len in
+    Tuple.Tbl.add r.stamps t stamp;
+    push r t;
+    List.iter (fun (_, positions, idx) -> index_add idx positions stamp t) r.indexes;
     true
   end
 
-let iter f r = Tuple.Tbl.iter (fun t () -> f t) r.tuples
-let fold f r init = Tuple.Tbl.fold (fun t () acc -> f t acc) r.tuples init
+let iter_in r ~lo ~hi f =
+  let hi = min hi r.len in
+  for i = max lo 0 to hi - 1 do
+    f r.log.(i)
+  done
+
+let iter f r = iter_in r ~lo:0 ~hi:r.len f
+
+let fold f r init =
+  let acc = ref init in
+  iter (fun t -> acc := f t !acc) r;
+  !acc
+
 let to_list r = fold List.cons r []
 
 let pattern_equal a b = Array.length a = Array.length b && Array.for_all2 Bool.equal a b
 
 let ensure_index r pattern =
-  match List.find_opt (fun (p, _) -> pattern_equal p pattern) r.indexes with
-  | Some (_, idx) -> idx
+  match List.find_opt (fun (p, _, _) -> pattern_equal p pattern) r.indexes with
+  | Some (_, _, idx) -> idx
   | None ->
     let idx = Tuple.Tbl.create 64 in
     let positions = bound_positions pattern in
-    iter (fun t -> index_add idx positions t) r;
-    r.indexes <- (pattern, idx) :: r.indexes;
+    for i = 0 to r.len - 1 do
+      index_add idx positions i r.log.(i)
+    done;
+    r.indexes <- (pattern, positions, idx) :: r.indexes;
     idx
 
-let lookup r ~pattern ~key =
+(* newest first: skip stamps >= hi, stop below lo *)
+let rec iter_bucket ~lo ~hi f = function
+  | [] -> ()
+  | (stamp, t) :: rest ->
+    if stamp >= hi then iter_bucket ~lo ~hi f rest
+    else if stamp >= lo then begin
+      f t;
+      iter_bucket ~lo ~hi f rest
+    end
+
+let iter_matching_in r ~pattern ~key ~lo ~hi f =
   if Array.length pattern <> r.arity then
-    invalid_arg "Relation.lookup: pattern arity mismatch";
-  if Array.for_all not pattern then to_list r
+    invalid_arg "Relation.iter_matching_in: pattern arity mismatch";
+  if Array.for_all not pattern then iter_in r ~lo ~hi f
   else
     let idx = ensure_index r pattern in
-    Option.value ~default:[] (Tuple.Tbl.find_opt idx key)
+    match Tuple.Tbl.find_opt idx key with
+    | None -> ()
+    | Some bucket -> iter_bucket ~lo ~hi f !bucket
+
+let iter_matching r ~pattern ~key f = iter_matching_in r ~pattern ~key ~lo:0 ~hi:max_int f
+
+let lookup r ~pattern ~key =
+  let acc = ref [] in
+  iter_matching r ~pattern ~key (fun t -> acc := t :: !acc);
+  !acc
 
 let copy r =
   let r' = create r.arity in
@@ -63,7 +131,9 @@ let copy r =
   r'
 
 let clear r =
-  Tuple.Tbl.reset r.tuples;
+  Tuple.Tbl.reset r.stamps;
+  r.log <- [||];
+  r.len <- 0;
   r.indexes <- []
 
 let pp ppf r =

@@ -3,7 +3,13 @@
 
     An index for pattern [p] (a boolean array, [true] = bound position)
     maps the projection of a tuple on the bound positions to the tuples
-    with that projection; it is kept up to date by subsequent inserts. *)
+    with that projection; it is kept up to date by subsequent inserts.
+
+    Tuples are also kept in an insertion log and stamped with their log
+    position.  A stamp range [\[lo, hi)] denotes the relation as it was
+    between two past moments, which lets the semi-naive engine read the
+    "old", "delta" and "new" versions of one stored relation without
+    maintaining and merging separate per-round copies ({!Eval}). *)
 
 type t
 
@@ -13,11 +19,25 @@ val create : int -> t
 val arity : t -> int
 val cardinal : t -> int
 
+val size : t -> int
+(** Current insertion stamp: tuples added from now on get stamps
+    [>= size r].  Equal to {!cardinal}. *)
+
 val add : t -> Tuple.t -> bool
 (** Insert; returns [true] iff the tuple is new. *)
 
 val mem : t -> Tuple.t -> bool
+
+val mem_in : t -> lo:int -> hi:int -> Tuple.t -> bool
+(** Membership in the stamp range [\[lo, hi)]. *)
+
 val iter : (Tuple.t -> unit) -> t -> unit
+(** Iterate in insertion order.  Tuples added during the traversal are
+    not visited. *)
+
+val iter_in : t -> lo:int -> hi:int -> (Tuple.t -> unit) -> unit
+(** Iterate the tuples with stamps in [\[lo, hi)], oldest first. *)
+
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Tuple.t list
 
@@ -26,6 +46,21 @@ val lookup : t -> pattern:bool array -> key:Tuple.t -> Tuple.t list
     [key] (which has one entry per bound position, in order).  An
     all-false pattern enumerates the relation. *)
 
+val iter_matching : t -> pattern:bool array -> key:Tuple.t -> (Tuple.t -> unit) -> unit
+(** Streaming {!lookup}: applies the callback to every matching tuple
+    without materializing a list.  An all-false pattern streams the whole
+    relation; otherwise the bucket of the on-demand index for [pattern]
+    is traversed in place.  The traversal sees a snapshot: tuples the
+    callback inserts (into any relation, including this one) are not
+    visited. *)
+
+val iter_matching_in :
+  t -> pattern:bool array -> key:Tuple.t -> lo:int -> hi:int -> (Tuple.t -> unit) -> unit
+(** {!iter_matching} restricted to the stamp range [\[lo, hi)]. *)
+
 val copy : t -> t
+(** A fresh relation with the same tuples, re-stamped in insertion order,
+    and no indexes. *)
+
 val clear : t -> unit
 val pp : t Fmt.t

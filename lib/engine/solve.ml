@@ -7,24 +7,23 @@ exception Unsafe of string
 let bump_probes stats = match stats with None -> () | Some s -> s.Stats.probes <- s.Stats.probes + 1
 
 (* Instantiate the atom's arguments, split them into a lookup pattern
-   (ground positions) and residual patterns, and enumerate matches. *)
+   (ground positions) and residual patterns, and enumerate matches.
+   Probes count actual relation accesses: a literal whose predicate has
+   no relation at all performs no index work and is not counted. *)
 let atom_matches ?stats src atom subst k =
-  bump_probes stats;
   match src (Atom.symbol atom) with
   | None -> ()
   | Some rel ->
+    bump_probes stats;
     let args = List.map (fun t -> Term.eval (Subst.apply subst t)) atom.Atom.args in
     let pattern = Array.of_list (List.map Term.is_ground args) in
     let key =
       Array.of_list (List.filter Term.is_ground args)
     in
-    let candidates = Relation.lookup rel ~pattern ~key in
-    List.iter
-      (fun tuple ->
+    Relation.iter_matching rel ~pattern ~key (fun tuple ->
         match Subst.match_list args (Tuple.to_list tuple) subst with
         | Some subst' -> k subst'
         | None -> ())
-      candidates
 
 let match_against ?stats src atom subst =
   let acc = ref [] in
@@ -86,7 +85,8 @@ let solve ?stats ~source ~neg_source body subst k =
       if not (Atom.is_ground a) then
         raise (Unsafe (Fmt.str "negated literal %a reached with unbound variables" Atom.pp a))
       else begin
-        bump_probes stats;
+        (* negated builtins are evaluated natively and touch no relation;
+           only real relation membership tests count as probes *)
         let holds =
           if Atom.is_builtin a then begin
             let found = ref false in
@@ -96,7 +96,9 @@ let solve ?stats ~source ~neg_source body subst k =
           else
             match neg_source (Atom.symbol a) with
             | None -> false
-            | Some rel -> Relation.mem rel (Array.of_list a.Atom.args)
+            | Some rel ->
+              bump_probes stats;
+              Relation.mem rel (Array.of_list a.Atom.args)
         in
         if not holds then go (i + 1) rest subst
       end

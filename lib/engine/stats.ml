@@ -7,7 +7,7 @@ type t = {
   mutable rederivations : int;
   mutable probes : int;
   mutable subqueries : int;
-  per_pred : int Symbol.Tbl.t;
+  per_pred : int ref Symbol.Tbl.t;
 }
 
 let create () =
@@ -25,12 +25,15 @@ let record_fact s sym ~is_new =
   s.firings <- s.firings + 1;
   if is_new then begin
     s.facts <- s.facts + 1;
-    let n = Option.value ~default:0 (Symbol.Tbl.find_opt s.per_pred sym) in
-    Symbol.Tbl.replace s.per_pred sym (n + 1)
+    (* counters are refs so the common case is one hash lookup + incr *)
+    match Symbol.Tbl.find_opt s.per_pred sym with
+    | Some n -> incr n
+    | None -> Symbol.Tbl.add s.per_pred sym (ref 1)
   end
   else s.rederivations <- s.rederivations + 1
 
-let facts_for s sym = Option.value ~default:0 (Symbol.Tbl.find_opt s.per_pred sym)
+let facts_for s sym =
+  match Symbol.Tbl.find_opt s.per_pred sym with Some n -> !n | None -> 0
 
 let merge a b =
   let m = create () in
@@ -40,11 +43,12 @@ let merge a b =
   m.rederivations <- a.rederivations + b.rederivations;
   m.probes <- a.probes + b.probes;
   m.subqueries <- a.subqueries + b.subqueries;
-  Symbol.Tbl.iter (fun sym n -> Symbol.Tbl.replace m.per_pred sym n) a.per_pred;
+  Symbol.Tbl.iter (fun sym n -> Symbol.Tbl.replace m.per_pred sym (ref !n)) a.per_pred;
   Symbol.Tbl.iter
     (fun sym n ->
-      let existing = Option.value ~default:0 (Symbol.Tbl.find_opt m.per_pred sym) in
-      Symbol.Tbl.replace m.per_pred sym (existing + n))
+      match Symbol.Tbl.find_opt m.per_pred sym with
+      | Some existing -> existing := !existing + !n
+      | None -> Symbol.Tbl.add m.per_pred sym (ref !n))
     b.per_pred;
   m
 

@@ -14,7 +14,8 @@ type t = {
   mutable rederivations : int;  (** firings that produced an already-known fact *)
   mutable probes : int;  (** body-literal match attempts (join probes) *)
   mutable subqueries : int;  (** top-down only: distinct subgoals *)
-  per_pred : int Symbol.Tbl.t;  (** distinct facts per predicate *)
+  per_pred : int ref Symbol.Tbl.t;
+      (** distinct facts per predicate; read through {!facts_for} *)
 }
 
 val create : unit -> t

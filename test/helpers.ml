@@ -92,3 +92,49 @@ let edges_to_facts ?(pred = "p") edges =
     (fun (a, b) ->
       Atom.make pred [ Term.Sym (Fmt.str "n%d" a); Term.Sym (Fmt.str "n%d" b) ])
     edges
+
+(* Random safe Datalog programs over IDB predicates i0, i1 and EDB
+   predicates e0, e1, e2 (all binary): linear and nonlinear recursion,
+   multiple IDB predicates, interleaved base literals.  Every rule is
+   range-restricted and connected.  Shared by the strategy-equivalence
+   and engine-equivalence properties. *)
+let gen_random_rule =
+  let open QCheck2.Gen in
+  let* head_pred = map (fun b -> if b then "i0" else "i1") bool in
+  let* shape = int_bound 4 in
+  let base = map (fun i -> Fmt.str "e%d" i) (int_bound 2) in
+  let* b1 = base in
+  let* b2 = base in
+  let* idb = map (fun b -> if b then "i0" else "i1") bool in
+  return
+    (match shape with
+    | 0 -> Fmt.str "%s(X, Y) :- %s(X, Y)." head_pred b1
+    | 1 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred b1 idb
+    | 2 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred idb b1
+    | 3 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, W), %s(W, Y)." head_pred b1 idb b2
+    | _ -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred b1 b2)
+
+let gen_random_program =
+  let open QCheck2.Gen in
+  let* n = int_range 2 6 in
+  let* rules = list_size (return n) gen_random_rule in
+  (* both IDB predicates always have an exit rule *)
+  let src =
+    String.concat "\n" ([ "i0(X, Y) :- e0(X, Y)."; "i1(X, Y) :- e1(X, Y)." ] @ rules)
+  in
+  return src
+
+let gen_random_edb =
+  let open QCheck2.Gen in
+  let edge pred =
+    map2
+      (fun a b ->
+        Atom.make pred [ Term.Sym (Fmt.str "n%d" a); Term.Sym (Fmt.str "n%d" b) ])
+      (int_bound 6) (int_bound 6)
+  in
+  let* e0 = list_size (int_range 0 10) (edge "e0") in
+  let* e1 = list_size (int_range 0 10) (edge "e1") in
+  let* e2 = list_size (int_range 0 10) (edge "e2") in
+  return (e0 @ e1 @ e2)
+
+let gen_random_case = QCheck2.Gen.pair gen_random_program gen_random_edb

@@ -160,6 +160,88 @@ let prop_all_strategies_on_random_graphs =
         (fun m -> sorted_answers (run_method ~max_facts:200_000 m p q edb) = reference)
         [ "gms"; "gsms"; "gc"; "gsc"; "gc-sj"; "gsc-sj"; "tabled" ])
 
+(* ------------------------------------------------------------------ *)
+(* Engine-level equivalence: the naive, reference semi-naive and       *)
+(* plan-compiled semi-naive engines must derive identical databases.   *)
+(* ------------------------------------------------------------------ *)
+
+type engine_run =
+  ?max_iterations:int ->
+  ?max_facts:int ->
+  Program.t ->
+  edb:Engine.Database.t ->
+  Engine.Eval.outcome
+
+let engine_runs : (string * engine_run) list =
+  [
+    ("naive", Engine.Eval.naive);
+    ("plan seminaive", Engine.Eval.seminaive);
+    ("reference seminaive", Engine.Eval.seminaive_reference);
+  ]
+
+(* everything the engines must agree on: the derived fact set, and the
+   per-predicate fact counts both in the database and in the stats *)
+let db_signature (out : Engine.Eval.outcome) =
+  let db = out.Engine.Eval.db in
+  let syms =
+    List.filter
+      (fun s -> Engine.Database.cardinal db s > 0)
+      (List.sort Symbol.compare (Engine.Database.symbols db))
+  in
+  ( out.Engine.Eval.diverged,
+    List.sort Atom.compare (Engine.Database.all_facts db),
+    List.map
+      (fun s ->
+        ( s,
+          Engine.Database.cardinal db s,
+          Engine.Stats.facts_for out.Engine.Eval.stats s ))
+      syms )
+
+let prop_engines_identical =
+  qtest ~count:100 "engines: naive = reference = plan on random programs"
+    gen_random_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      match
+        List.map
+          (fun ((_, run) : string * engine_run) -> db_signature (run p ~edb))
+          engine_runs
+      with
+      | reference :: rest -> List.for_all (fun s -> s = reference) rest
+      | [] -> true)
+
+let prop_budget_zero_iterations =
+  qtest ~count:40 "engines: max_iterations:0 diverges before any work"
+    gen_random_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      List.for_all
+        (fun ((_, run) : string * engine_run) ->
+          let out = run ~max_iterations:0 p ~edb in
+          out.Engine.Eval.diverged
+          && out.Engine.Eval.stats.Engine.Stats.firings = 0
+          && out.Engine.Eval.stats.Engine.Stats.iterations = 0
+          && Engine.Database.total out.Engine.Eval.db = Engine.Database.total edb)
+        engine_runs)
+
+let prop_budget_one_fact =
+  qtest ~count:40 "engines: max_facts:1 diverges iff anything is derivable"
+    gen_random_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      let derivable =
+        (Engine.Eval.seminaive p ~edb).Engine.Eval.stats.Engine.Stats.facts > 0
+      in
+      List.for_all
+        (fun ((_, run) : string * engine_run) ->
+          let out = run ~max_facts:1 p ~edb in
+          out.Engine.Eval.stats.Engine.Stats.facts <= 1
+          && out.Engine.Eval.diverged = derivable)
+        engine_runs)
+
 let suite =
   [
     Alcotest.test_case "ancestor chain" `Quick test_ancestor_chain;
@@ -173,4 +255,7 @@ let suite =
     Alcotest.test_case "unsimplified variants" `Quick test_unsimplified_variants_agree;
     prop_gms_equivalent_on_random_graphs;
     prop_all_strategies_on_random_graphs;
+    prop_engines_identical;
+    prop_budget_zero_iterations;
+    prop_budget_one_fact;
   ]

@@ -79,6 +79,30 @@ let test_budget () =
   let out2 = Engine.Eval.seminaive ~max_iterations:10 p ~edb in
   Alcotest.(check bool) "iteration budget" true out2.Engine.Eval.diverged
 
+let test_budget_before_round0 () =
+  (* regression: the iteration budget must be checked before round 0, so
+     [~max_iterations:0] reports divergence without firing anything *)
+  let p = program "t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y)." in
+  let edb = Engine.Database.of_facts [ atom "e(a,b)"; atom "e(b,c)" ] in
+  List.iter
+    (fun (name, out) ->
+      Alcotest.(check bool) (name ^ " diverged") true out.Engine.Eval.diverged;
+      Alcotest.(check int) (name ^ " firings") 0 out.Engine.Eval.stats.Engine.Stats.firings;
+      Alcotest.(check int)
+        (name ^ " iterations") 0 out.Engine.Eval.stats.Engine.Stats.iterations)
+    [
+      ("naive", Engine.Eval.naive ~max_iterations:0 p ~edb);
+      ("seminaive", Engine.Eval.seminaive ~max_iterations:0 p ~edb);
+      ("reference", Engine.Eval.seminaive_reference ~max_iterations:0 p ~edb);
+    ];
+  (* a one-fact budget is exhausted by the first derivation... *)
+  let one = Engine.Eval.seminaive ~max_facts:1 p ~edb in
+  Alcotest.(check bool) "max_facts:1 diverged" true one.Engine.Eval.diverged;
+  Alcotest.(check int) "max_facts:1 facts" 1 one.Engine.Eval.stats.Engine.Stats.facts;
+  (* ... but not when there is nothing to derive *)
+  let idle = Engine.Eval.seminaive ~max_facts:1 p ~edb:(Engine.Database.create ()) in
+  Alcotest.(check bool) "nothing derived, no divergence" false idle.Engine.Eval.diverged
+
 let test_unsafe_rule () =
   let p = program "a(X, Y) :- b(X)." in
   let edb = Engine.Database.of_facts [ atom "b(c)" ] in
@@ -145,6 +169,7 @@ let suite =
     Alcotest.test_case "stratified negation" `Quick test_stratified_negation;
     Alcotest.test_case "unstratifiable rejected" `Quick test_negation_not_stratifiable;
     Alcotest.test_case "budgets" `Quick test_budget;
+    Alcotest.test_case "budget before round 0" `Quick test_budget_before_round0;
     Alcotest.test_case "unsafe rule" `Quick test_unsafe_rule;
     Alcotest.test_case "facts in program" `Quick test_facts_in_program;
     prop_naive_equals_seminaive;

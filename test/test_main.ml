@@ -7,6 +7,7 @@ let () =
       ("program", Test_program.suite);
       ("relation", Test_relation.suite);
       ("stats", Test_stats.suite);
+      ("plan", Test_plan.suite);
       ("eval", Test_eval.suite);
       ("topdown", Test_topdown.suite);
       ("adornment", Test_adornment.suite);

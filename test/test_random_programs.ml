@@ -7,48 +7,8 @@ open Datalog
 open Helpers
 module C = Magic_core
 
-(* A random rule over IDB predicates i0, i1 (binary) and EDB predicates
-   e0, e1, e2 (binary).  Every rule is range-restricted and connected. *)
-let gen_rule =
-  let open QCheck2.Gen in
-  let* head_pred = map (fun b -> if b then "i0" else "i1") bool in
-  let* shape = int_bound 4 in
-  let base = map (fun i -> Fmt.str "e%d" i) (int_bound 2) in
-  let* b1 = base in
-  let* b2 = base in
-  let* idb = map (fun b -> if b then "i0" else "i1") bool in
-  return
-    (match shape with
-    | 0 -> Fmt.str "%s(X, Y) :- %s(X, Y)." head_pred b1
-    | 1 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred b1 idb
-    | 2 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred idb b1
-    | 3 -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, W), %s(W, Y)." head_pred b1 idb b2
-    | _ -> Fmt.str "%s(X, Y) :- %s(X, Z), %s(Z, Y)." head_pred b1 b2)
-
-let gen_program =
-  let open QCheck2.Gen in
-  let* n = int_range 2 6 in
-  let* rules = list_size (return n) gen_rule in
-  (* both IDB predicates always have an exit rule *)
-  let src =
-    String.concat "\n" ([ "i0(X, Y) :- e0(X, Y)."; "i1(X, Y) :- e1(X, Y)." ] @ rules)
-  in
-  return src
-
-let gen_edb =
-  let open QCheck2.Gen in
-  let edge pred =
-    map2
-      (fun a b ->
-        Atom.make pred [ Term.Sym (Fmt.str "n%d" a); Term.Sym (Fmt.str "n%d" b) ])
-      (int_bound 6) (int_bound 6)
-  in
-  let* e0 = list_size (int_range 0 10) (edge "e0") in
-  let* e1 = list_size (int_range 0 10) (edge "e1") in
-  let* e2 = list_size (int_range 0 10) (edge "e2") in
-  return (e0 @ e1 @ e2)
-
-let gen_case = QCheck2.Gen.pair gen_program gen_edb
+(* random programs over i0/i1 IDB and e0/e1/e2 EDB: see Helpers *)
+let gen_case = gen_random_case
 
 let query = Atom.make "i0" [ Term.Sym "n0"; Term.Var "Y" ]
 
