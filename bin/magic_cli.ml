@@ -16,12 +16,28 @@ let read_source path =
   close_in ic;
   s
 
+let render_diagnostics ~src ~file ds =
+  List.iter (fun d -> Fmt.epr "%a@." (Analysis.Diagnostic.render ~src ~file) d) ds
+
 let load path =
-  let program, query = Parser.parse_program (read_source path) in
-  let program, facts = Parser.split_facts program in
-  match query with
-  | None -> Fmt.failwith "%s: no ?- query found" path
-  | Some q -> (program, q, Engine.Database.of_facts facts)
+  let src = read_source path in
+  match Parser.parse_program_spanned src with
+  | Stdlib.Error { Parser.message; span } ->
+    render_diagnostics ~src ~file:path
+      [ Analysis.Diagnostic.error ~code:"E100" ~span ("syntax error: " ^ message) ];
+    exit 1
+  | Stdlib.Ok (program, query, srcmap) -> (
+    (* pre-flight: refuse to evaluate a program the engine would choke on,
+       with located diagnostics instead of a raw exception *)
+    let errors = Analysis.preflight ~srcmap ?query program in
+    if errors <> [] then begin
+      render_diagnostics ~src ~file:path errors;
+      exit 1
+    end;
+    let program, facts = Parser.split_facts program in
+    match query with
+    | None -> Fmt.failwith "%s: no ?- query found" path
+    | Some q -> (program, q, Engine.Database.of_facts facts))
 
 let sip_conv =
   let parse s =
@@ -138,6 +154,62 @@ let safety_cmd =
     (Cmd.info "safety" ~doc:"Binding-graph safety analysis (Section 10).")
     (T.app (T.app (T.const run) file_arg) sip_arg)
 
+let check_cmd =
+  let run file (_, sip) strategy list_codes =
+    if list_codes then
+      List.iter
+        (fun (code, sev, doc) ->
+          Fmt.pr "%s  %-7s  %s@." code
+            (Analysis.Diagnostic.severity_string sev)
+            doc)
+        Analysis.codes
+    else begin
+      let file =
+        match file with
+        | Some f -> f
+        | None ->
+          Fmt.epr "magic check: a FILE argument is required (or use --codes)@.";
+          exit 2
+      in
+      let src = read_source file in
+      let rewritings =
+        match strategy with None -> Analysis.all_rewritings | Some s -> [ s ]
+      in
+      let ds = Analysis.check_text ~sip ~rewritings src in
+      render_diagnostics ~src ~file ds;
+      Fmt.pr "%s: %a@." file Analysis.Diagnostic.summary ds;
+      if Analysis.Diagnostic.has_errors ds then exit 1
+    end
+  in
+  let strategy_opt =
+    let rewriting_conv =
+      let parse s =
+        match C.Rewrite.rewriting_of_string s with
+        | Some r -> Stdlib.Ok r
+        | None -> Stdlib.Error (`Msg (Fmt.str "unknown strategy %S" s))
+      in
+      Arg.conv (parse, fun ppf r -> Fmt.string ppf (C.Rewrite.rewriting_to_string r))
+    in
+    Arg.(
+      value
+      & opt (some rewriting_conv) None
+      & info [ "strategy"; "s" ] ~docv:"S"
+          ~doc:"Lint the rewritten program of this strategy only (gms, gsms, \
+                gc or gsc); default is all four.")
+  in
+  let list_codes_arg =
+    Arg.(value & flag & info [ "codes" ] ~doc:"List the diagnostic codes and exit.")
+  in
+  let opt_file_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Datalog source file.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically analyze a source file: safety, stratification, sips, \
+             lints and rewrite invariants; exit 1 when any error is found.")
+    (T.app (T.app (T.app (T.app (T.const run) opt_file_arg) sip_arg) strategy_opt)
+       list_codes_arg)
+
 let method_conv =
   let parse s =
     match List.assoc_opt s C.Rewrite.methods with
@@ -237,4 +309,7 @@ let compare_cmd =
 let () =
   let doc = "magic-sets rewriting of recursive Datalog queries (Beeri & Ramakrishnan)" in
   let info = Cmd.info "magic" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ adorn_cmd; rewrite_cmd; safety_cmd; eval_cmd; explain_cmd; compare_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; adorn_cmd; rewrite_cmd; safety_cmd; eval_cmd; explain_cmd; compare_cmd ]))

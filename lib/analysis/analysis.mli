@@ -1,0 +1,61 @@
+(** Multi-pass static analyzer with source-located diagnostics.
+
+    The pipeline, in order:
+
+    + arity consistency ([E020]) — {!Pass_lints};
+    + range restriction / rule safety ([E001], [E002], [W001]) —
+      {!Pass_safety};
+    + dependency analysis: stratified negation with a concrete cycle
+      witness, dead rules, unused predicates ([E010], [W010], [W011]) —
+      {!Pass_deps};
+    + singleton-variable lint ([W020]) — {!Pass_lints};
+    + with a query: sip validity and head bindability on the adorned rule
+      set ([E003], [E030], [E031]) — {!Pass_sip}; the Section 10 safety
+      report ([W050], [W051]); and the rewrite-invariant linter
+      ([E040]-[E047]) over each requested strategy — {!Rewrite_lint}.
+
+    Exit-worthiness is the severity: a program is rejected iff some
+    diagnostic is an error; warnings flag constructs that evaluate but
+    deserve attention. *)
+
+open Datalog
+module C := Magic_core
+module Diagnostic = Diagnostic
+module Ctx = Ctx
+module Pass_safety = Pass_safety
+module Pass_deps = Pass_deps
+module Pass_lints = Pass_lints
+module Pass_sip = Pass_sip
+module Rewrite_lint = Rewrite_lint
+
+val all_rewritings : C.Rewrite.rewriting list
+(** GMS, GSMS, GC, GSC. *)
+
+val check :
+  ?srcmap:Parser.source_map ->
+  ?sip:C.Sip.strategy ->
+  ?rewritings:C.Rewrite.rewriting list ->
+  ?query:Atom.t ->
+  Program.t ->
+  Diagnostic.t list
+(** Run the full pipeline on a parsed program (facts still inline, as
+    returned by {!Datalog.Parser.parse_program}); sorted by source
+    position.  [rewritings] defaults to all four strategies; pass [[]] to
+    skip the rewrite linter. *)
+
+val check_text :
+  ?sip:C.Sip.strategy ->
+  ?rewritings:C.Rewrite.rewriting list ->
+  string ->
+  Diagnostic.t list
+(** Parse and {!check} a source text; lexical and syntax errors are
+    reported as [E100] diagnostics instead of exceptions. *)
+
+val preflight :
+  ?srcmap:Parser.source_map -> ?query:Atom.t -> Program.t -> Diagnostic.t list
+(** The error-level program checks an evaluation should run first: every
+    returned diagnostic is an {!Diagnostic.Error} that would make the
+    engine raise or loop.  Used by the CLI before [eval]/[explain]/[compare]. *)
+
+val codes : (string * Diagnostic.severity * string) list
+(** The stable diagnostic code table (code, severity, one-line summary). *)

@@ -1,0 +1,14 @@
+(** Predicate-dependency diagnostics, over {!Datalog.Depgraph}.
+
+    - [E010] (error): negation occurs inside a recursive component; the
+      diagnostic points at the offending negated literal and carries the
+      concrete predicate cycle as a note.
+    - [W010] (warning): a rule's head predicate is unreachable from the
+      query through rule bodies (dead rule).  Facts are exempt: an unused
+      relation is data, not logic.
+    - [W011] (warning): a derived predicate is neither the query predicate
+      nor referenced by any rule body.
+
+    The reachability warnings need a query and are skipped without one. *)
+
+val run : Ctx.t -> Diagnostic.t list

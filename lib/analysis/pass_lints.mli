@@ -1,0 +1,12 @@
+(** Structural lints.
+
+    - [E020] (error): a predicate name is used with two different arities.
+      (The engine would treat these as distinct relations — {!Datalog.Symbol.t}
+      includes the arity — which is never what the source meant.)
+    - [W020] (warning): a variable occurs exactly once in a rule.
+      Variables starting with ['_'] (including the parser's generated names
+      for [_] and [?]) are exempt. *)
+
+val arities : Ctx.t -> Diagnostic.t list
+val singletons : Ctx.t -> Diagnostic.t list
+val run : Ctx.t -> Diagnostic.t list

@@ -1,0 +1,82 @@
+(* Adorned-program pass: sip validity (Section 3) and per-adornment
+   head bindability.
+
+   These checks need the query: they run on the adorned rule set, i.e. on
+   the (predicate, adornment) pairs actually reachable from the query's
+   binding pattern.  [orig_of] maps an adorned rule's [source_index]
+   (an index into the fact-free program given to {!Magic_core.Adorn.adorn})
+   back to the clause index of the parsed program, for source spans. *)
+
+open Datalog
+module C = Magic_core
+module S = Set.Make (String)
+
+let check_sip ?(span = Loc.dummy) rule adornment sip =
+  match C.Sip.validate rule adornment sip with
+  | Ok () -> []
+  | Error msg ->
+    [ Diagnostic.error ~code:"E030" ~span (Fmt.str "invalid sip: %s" msg) ]
+
+(* Section 3's justification condition in normalized form: once the body
+   is in sip order, every arc into literal j may draw only on the head
+   and on literals before j. *)
+let check_arc_order ?(span = Loc.dummy) (ar : C.Adorn.adorned_rule) =
+  List.concat_map
+    (fun (arc : C.Sip.arc) ->
+      let late =
+        List.filter_map
+          (function
+            | C.Sip.Head -> None
+            | C.Sip.Body k -> if k >= arc.C.Sip.target then Some k else None)
+          arc.C.Sip.tail
+      in
+      match late with
+      | [] -> []
+      | k :: _ ->
+        [
+          Diagnostic.error ~code:"E031" ~span
+            (Fmt.str
+               "sip arc into body literal %d draws bindings from literal %d, \
+                which does not precede it: bound variables must be justified \
+                by the head or earlier literals"
+               (arc.C.Sip.target + 1) (k + 1));
+        ])
+    ar.C.Adorn.sip.C.Sip.arcs
+
+let check_head_bindable ctx orig_index (ar : C.Adorn.adorned_rule) =
+  let rule = ar.C.Adorn.rule in
+  let bindable = Pass_safety.bindable_vars rule in
+  let head_bound =
+    List.concat_map Term.vars (C.Rew_util.head_bound_args ar)
+  in
+  let missing =
+    List.filter
+      (fun v ->
+        (not (S.mem v bindable)) && not (List.mem v head_bound))
+      (Atom.vars rule.Rule.head)
+  in
+  match missing with
+  | [] -> []
+  | vs ->
+    [
+      Diagnostic.error ~code:"E003"
+        ~span:(Ctx.head_span ctx orig_index)
+        (Fmt.str
+           "head variable%s %s of '%s' (adorned %s) cannot be bound: not in \
+            any positive body literal and not in a bound head argument; no \
+            rewriting can make this rule safe for the query"
+           (match vs with [ _ ] -> "" | _ -> "s")
+           (String.concat ", " (List.map (fun v -> "'" ^ v ^ "'") vs))
+           ar.C.Adorn.head_pred
+           (C.Adornment.to_string ar.C.Adorn.head_adornment));
+    ]
+
+let run ctx ~orig_of (ad : C.Adorn.t) =
+  List.concat_map
+    (fun (ar : C.Adorn.adorned_rule) ->
+      let oi = orig_of ar.C.Adorn.source_index in
+      let span = Ctx.rule_span ctx oi in
+      check_sip ~span ar.C.Adorn.rule ar.C.Adorn.head_adornment ar.C.Adorn.sip
+      @ check_arc_order ~span ar
+      @ check_head_bindable ctx oi ar)
+    ad.C.Adorn.rules

@@ -1,0 +1,258 @@
+(* Invariant linter for the output of the four rewriting strategies.
+
+   Rewritten programs are generated, so these diagnostics carry no source
+   spans; each one names the offending rule or atom in its message.  The
+   checks are derived from the shape Sections 4-7 of the paper promise:
+
+   - every predicate name is used at one arity everywhere (E040);
+   - every generated predicate that occurs in a body has a defining rule
+     or a seed (E041);
+   - generated predicates have the arity their role dictates: adorned =
+     original arity, magic = number of bound positions, cnt/indexed add
+     the index fields (E042);
+   - counting index arguments are well-formed index terms under both the
+     numeric and the path encodings (E043);
+   - a query with bound arguments yields at least one seed, and every
+     seed is a ground magic/cnt fact (E044);
+   - range restriction of negated literals still holds (E045) and the
+     program is still stratifiable (E046);
+   - every rule defining a bound-adorned (or bound-indexed) predicate is
+     guarded by a magic/supplementary/counting literal (E047). *)
+
+open Datalog
+module C = Magic_core
+
+let err code fmt = Fmt.kstr (fun m -> Diagnostic.error ~code m) fmt
+
+let role_name = function
+  | C.Naming.Adorned _ -> "adorned"
+  | C.Naming.Magic _ -> "magic"
+  | C.Naming.Label _ -> "label"
+  | C.Naming.Supp _ -> "supplementary"
+  | C.Naming.Indexed _ -> "indexed"
+  | C.Naming.Cnt _ -> "counting"
+  | C.Naming.Supcnt _ -> "supplementary counting"
+
+module SS = Set.Make (String)
+
+let pred_set atoms = SS.of_list (List.map (fun (a : Atom.t) -> a.Atom.pred) atoms)
+
+let check_arities (rw : C.Rewritten.t) =
+  let tbl : (string, int * string) Hashtbl.t = Hashtbl.create 32 in
+  let diags = ref [] in
+  let visit where (a : Atom.t) =
+    if not (Atom.is_builtin a) then
+      match Hashtbl.find_opt tbl a.Atom.pred with
+      | None -> Hashtbl.replace tbl a.Atom.pred (Atom.arity a, where)
+      | Some (arity0, where0) when arity0 <> Atom.arity a ->
+        diags :=
+          err "E040" "predicate '%s' has arity %d in %s but arity %d in %s"
+            a.Atom.pred (Atom.arity a) where arity0 where0
+          :: !diags
+      | Some _ -> ()
+  in
+  List.iteri
+    (fun i (r : Rule.t) ->
+      let where = Fmt.str "rule %d (%a)" i Rule.pp r in
+      visit where r.Rule.head;
+      List.iter (fun a -> visit where a) (Rule.body_atoms r))
+    (Program.rules rw.C.Rewritten.program);
+  List.iter (fun s -> visit (Fmt.str "seed %a" Atom.pp s) s) rw.C.Rewritten.seeds;
+  visit "the query" rw.C.Rewritten.query;
+  List.rev !diags
+
+let check_roles (rw : C.Rewritten.t) =
+  let naming = rw.C.Rewritten.naming in
+  let rules = Program.rules rw.C.Rewritten.program in
+  let defined = pred_set (List.map (fun (r : Rule.t) -> r.Rule.head) rules) in
+  let seeded = pred_set rw.C.Rewritten.seeds in
+  let body_atoms =
+    List.filter
+      (fun a -> not (Atom.is_builtin a))
+      (List.concat_map Rule.body_atoms rules)
+  in
+  let used = SS.add rw.C.Rewritten.query.Atom.pred (pred_set body_atoms) in
+  let arity_of : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (a : Atom.t) ->
+      if not (Atom.is_builtin a) then
+        Hashtbl.replace arity_of a.Atom.pred (Atom.arity a))
+    (List.map (fun (r : Rule.t) -> r.Rule.head) rules
+    @ body_atoms @ rw.C.Rewritten.seeds
+    @ [ rw.C.Rewritten.query ]);
+  let idx = rw.C.Rewritten.index_fields in
+  let expected_arity = function
+    | C.Naming.Adorned (_, a) -> Some (C.Adornment.arity a)
+    | C.Naming.Magic (_, a) -> Some (C.Adornment.bound_count a)
+    | C.Naming.Cnt (_, a) -> Some (C.Adornment.bound_count a + idx)
+    | C.Naming.Indexed (_, a) -> Some (C.Adornment.arity a + idx)
+    | C.Naming.Label _ | C.Naming.Supp _ | C.Naming.Supcnt _ -> None
+  in
+  let all_preds = SS.union used (SS.union defined seeded) in
+  SS.fold
+    (fun pred acc ->
+      match C.Naming.role naming pred with
+      | None -> acc
+      | Some role ->
+        let undefined =
+          if SS.mem pred used && not (SS.mem pred defined || SS.mem pred seeded)
+          then
+            [
+              err "E041"
+                "%s predicate '%s' occurs in a rule body but has no defining \
+                 rule and no seed"
+                (role_name role) pred;
+            ]
+          else []
+        in
+        let wrong_arity =
+          match (expected_arity role, Hashtbl.find_opt arity_of pred) with
+          | Some want, Some got when want <> got ->
+            [
+              err "E042" "%s predicate '%s' has arity %d but its role dictates %d"
+                (role_name role) pred got want;
+            ]
+          | _ -> []
+        in
+        acc @ undefined @ wrong_arity)
+    all_preds []
+
+(* counting index terms: numeric (I, I + 1, K * m + r, ...) or path
+   (s(I), k(r, K), h(j, H), e); ground integers and variables seed both *)
+let rec index_term_ok (t : Term.t) =
+  match t with
+  | Term.Var _ | Term.Int _ -> true
+  | Term.Sym "e" -> true
+  | Term.Sym _ -> false
+  | Term.Add (a, b) | Term.Mul (a, b) | Term.Div (a, b) ->
+    index_term_ok a && index_term_ok b
+  | Term.App (("s" | "k" | "h"), args) -> List.for_all index_term_ok args
+  | Term.App _ -> false
+
+let check_index_terms (rw : C.Rewritten.t) =
+  let idx = rw.C.Rewritten.index_fields in
+  if idx = 0 then []
+  else begin
+    let naming = rw.C.Rewritten.naming in
+    let indexed (a : Atom.t) =
+      match C.Naming.role naming a.Atom.pred with
+      | Some (C.Naming.Indexed _ | C.Naming.Cnt _ | C.Naming.Supcnt _) -> true
+      | _ -> false
+    in
+    let check where (a : Atom.t) =
+      if indexed a then
+        List.filteri (fun i _ -> i < idx) a.Atom.args
+        |> List.filter_map (fun t ->
+               if index_term_ok t then None
+               else
+                 Some
+                   (err "E043"
+                      "malformed counting index term '%a' in '%a' (%s)" Term.pp
+                      t Atom.pp a where))
+      else []
+    in
+    List.concat
+      (List.mapi
+         (fun i (r : Rule.t) ->
+           let where = Fmt.str "rule %d" i in
+           check where r.Rule.head
+           @ List.concat_map (check where) (Rule.body_atoms r))
+         (Program.rules rw.C.Rewritten.program))
+    @ List.concat_map (check "seed") rw.C.Rewritten.seeds
+    @ check "query" rw.C.Rewritten.query
+  end
+
+let check_seeds (rw : C.Rewritten.t) =
+  let naming = rw.C.Rewritten.naming in
+  let per_seed =
+    List.concat_map
+      (fun (s : Atom.t) ->
+        let ground =
+          if Atom.is_ground s then []
+          else [ err "E044" "seed '%a' is not ground" Atom.pp s ]
+        in
+        let magic =
+          match C.Naming.role naming s.Atom.pred with
+          | Some (C.Naming.Magic _ | C.Naming.Cnt _) -> []
+          | _ ->
+            [
+              err "E044" "seed '%a' is not a magic or counting fact" Atom.pp s;
+            ]
+        in
+        ground @ magic)
+      rw.C.Rewritten.seeds
+  in
+  let missing =
+    let _, qa = rw.C.Rewritten.adorned.C.Adorn.query_pred in
+    if
+      C.Adornment.has_bound qa
+      && rw.C.Rewritten.adorned.C.Adorn.rules <> []
+      && rw.C.Rewritten.seeds = []
+    then
+      [
+        err "E044"
+          "the query binds arguments (adornment %s) but the rewriting \
+           produced no seed"
+          (C.Adornment.to_string qa);
+      ]
+    else []
+  in
+  per_seed @ missing
+
+let check_range_restriction (rw : C.Rewritten.t) =
+  List.concat
+    (List.mapi
+       (fun i (r : Rule.t) ->
+         List.map
+           (fun (v, (a : Atom.t)) ->
+             err "E045"
+               "rewritten rule %d (%a): variable '%s' of negated literal \
+                '%a' occurs in no positive literal"
+               i Rule.pp r v Atom.pp a)
+           (Rule.unrestricted_negated_vars r))
+       (Program.rules rw.C.Rewritten.program))
+
+let check_stratifiable (rw : C.Rewritten.t) =
+  match Depgraph.negative_cycle (Program.depgraph rw.C.Rewritten.program) with
+  | None -> []
+  | Some { Depgraph.cycle; _ } ->
+    [
+      err "E046" "the rewritten program is not stratifiable (cycle: %s)"
+        (String.concat " -> " (List.map (fun (s : Symbol.t) -> s.Symbol.name) cycle));
+    ]
+
+let check_guards (rw : C.Rewritten.t) =
+  let naming = rw.C.Rewritten.naming in
+  let guarded_head (a : Atom.t) =
+    match C.Naming.role naming a.Atom.pred with
+    | Some (C.Naming.Adorned (_, ad) | C.Naming.Indexed (_, ad)) ->
+      C.Adornment.has_bound ad
+    | _ -> false
+  in
+  let is_guard (a : Atom.t) =
+    match C.Naming.role naming a.Atom.pred with
+    | Some
+        ( C.Naming.Magic _ | C.Naming.Supp _ | C.Naming.Cnt _
+        | C.Naming.Supcnt _ | C.Naming.Label _ ) ->
+      true
+    | _ -> false
+  in
+  List.concat
+    (List.mapi
+       (fun i (r : Rule.t) ->
+         if
+           guarded_head r.Rule.head
+           && not (List.exists is_guard (Rule.positive_body r))
+         then
+           [
+             err "E047"
+               "rule %d (%a) defines bound-adorned predicate '%s' without a \
+                guarding magic, supplementary or counting literal"
+               i Rule.pp r r.Rule.head.Atom.pred;
+           ]
+         else [])
+       (Program.rules rw.C.Rewritten.program))
+
+let check (rw : C.Rewritten.t) =
+  check_arities rw @ check_roles rw @ check_index_terms rw @ check_seeds rw
+  @ check_range_restriction rw @ check_stratifiable rw @ check_guards rw

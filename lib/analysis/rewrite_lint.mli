@@ -1,0 +1,15 @@
+(** Invariant linter for rewritten programs (codes E040-E047).
+
+    [check] inspects the output of any of the four strategies — GMS, GSMS,
+    GC, GSC — and reports violations of the structural guarantees the
+    construction promises: consistent arities, defined-or-seeded generated
+    predicates, role-dictated arities, well-formed counting index terms,
+    ground magic/cnt seeds, preserved range restriction and
+    stratifiability, and magic guards on modified rules.  A correct
+    rewriting produces an empty list; the test suite runs it over every
+    strategy and the random program corpus.
+
+    Note: the Section 8 semijoin optimization deliberately projects
+    argument columns away; run the linter on unoptimized rewritings. *)
+
+val check : Magic_core.Rewritten.t -> Diagnostic.t list

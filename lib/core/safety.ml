@@ -92,13 +92,9 @@ let all_binding_cycles_positive (adorned : Adorn.t) =
   let n = List.length nodes in
   if n = 0 then true
   else begin
-    let index node =
-      let rec go i = function
-        | [] -> assert false
-        | x :: rest -> if x = node then i else go (i + 1) rest
-      in
-      go 0 nodes
-    in
+    let node_index = Hashtbl.create (2 * n) in
+    List.iteri (fun i node -> Hashtbl.replace node_index node i) nodes;
+    let index node = Hashtbl.find node_index node in
     (* does an arc lie on a cycle?  src reachable from dst *)
     let succs = Array.make n [] in
     List.iter

@@ -23,20 +23,35 @@ type token =
   | GE
   | EOF
 
-exception Error of string * int
+exception Error of string * Loc.t
 
 let is_digit c = c >= '0' && c <= '9'
 let is_lower c = c >= 'a' && c <= 'z'
 let is_upper c = c >= 'A' && c <= 'Z'
 let is_ident_char c = is_digit c || is_lower c || is_upper c || c = '_' || c = '\''
 
+(* The scanner threads the current line number and the offset of the
+   current line's first character, so every token gets a full
+   line/column span without a second pass over the input. *)
+type cursor = { mutable line : int; mutable bol : int }
+
+let pos_at cur i = { Loc.line = cur.line; col = i - cur.bol + 1; offset = i }
+
 let tokenize input =
   let n = String.length input in
+  let cur = { line = 1; bol = 0 } in
+  let newline i =
+    cur.line <- cur.line + 1;
+    cur.bol <- i + 1
+  in
   let rec skip i =
     if i >= n then i
     else
       match input.[i] with
-      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | '\n' ->
+        newline i;
+        skip (i + 1)
+      | ' ' | '\t' | '\r' -> skip (i + 1)
       | '%' ->
         let rec eol j = if j >= n || input.[j] = '\n' then j else eol (j + 1) in
         skip (eol i)
@@ -44,13 +59,17 @@ let tokenize input =
   in
   let rec lex acc i =
     let i = skip i in
-    if i >= n then List.rev (EOF :: acc)
+    if i >= n then
+      let p = pos_at cur i in
+      List.rev ((EOF, Loc.point p) :: acc)
     else
+      let start = pos_at cur i in
+      let emit tok j = lex ((tok, Loc.span start (pos_at cur j)) :: acc) j in
       let c = input.[i] in
       if is_digit c then begin
         let rec stop j = if j < n && is_digit input.[j] then stop (j + 1) else j in
         let j = stop i in
-        lex (INTEGER (int_of_string (String.sub input i (j - i))) :: acc) j
+        emit (INTEGER (int_of_string (String.sub input i (j - i)))) j
       end
       else if is_lower c || is_upper c || c = '_' then begin
         let rec stop j = if j < n && is_ident_char input.[j] then stop (j + 1) else j in
@@ -61,33 +80,37 @@ let tokenize input =
           else if is_lower c then IDENT word
           else VARIABLE word
         in
-        lex (tok :: acc) j
+        emit tok j
       end
       else
         let two = if i + 1 < n then String.sub input i 2 else "" in
         match two with
-        | ":-" -> lex (ARROW :: acc) (i + 2)
-        | "?-" -> lex (QUERY :: acc) (i + 2)
-        | "<>" | "!=" -> lex (NEQ :: acc) (i + 2)
-        | "<=" -> lex (LE :: acc) (i + 2)
-        | ">=" -> lex (GE :: acc) (i + 2)
+        | ":-" -> emit ARROW (i + 2)
+        | "?-" -> emit QUERY (i + 2)
+        | "<>" | "!=" -> emit NEQ (i + 2)
+        | "<=" -> emit LE (i + 2)
+        | ">=" -> emit GE (i + 2)
         | _ -> begin
           match c with
-          | '(' -> lex (LPAREN :: acc) (i + 1)
-          | ')' -> lex (RPAREN :: acc) (i + 1)
-          | '[' -> lex (LBRACKET :: acc) (i + 1)
-          | ']' -> lex (RBRACKET :: acc) (i + 1)
-          | ',' -> lex (COMMA :: acc) (i + 1)
-          | '.' -> lex (DOT :: acc) (i + 1)
-          | '|' -> lex (BAR :: acc) (i + 1)
-          | '+' -> lex (PLUS :: acc) (i + 1)
-          | '*' -> lex (STAR :: acc) (i + 1)
-          | '/' -> lex (SLASH :: acc) (i + 1)
-          | '=' -> lex (EQ :: acc) (i + 1)
-          | '<' -> lex (LT :: acc) (i + 1)
-          | '>' -> lex (GT :: acc) (i + 1)
-          | '?' -> lex (IDENT "?" :: acc) (i + 1)
-          | c -> raise (Error (Fmt.str "unexpected character %C" c, i))
+          | '(' -> emit LPAREN (i + 1)
+          | ')' -> emit RPAREN (i + 1)
+          | '[' -> emit LBRACKET (i + 1)
+          | ']' -> emit RBRACKET (i + 1)
+          | ',' -> emit COMMA (i + 1)
+          | '.' -> emit DOT (i + 1)
+          | '|' -> emit BAR (i + 1)
+          | '+' -> emit PLUS (i + 1)
+          | '*' -> emit STAR (i + 1)
+          | '/' -> emit SLASH (i + 1)
+          | '=' -> emit EQ (i + 1)
+          | '<' -> emit LT (i + 1)
+          | '>' -> emit GT (i + 1)
+          | '?' -> emit (IDENT "?") (i + 1)
+          | c ->
+            raise
+              (Error
+                 ( Fmt.str "unexpected character %C" c,
+                   Loc.span start (pos_at cur (i + 1)) ))
         end
   in
   lex [] 0

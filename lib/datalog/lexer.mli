@@ -4,7 +4,9 @@
     names), variables (uppercase- or [_]-initial), integers, punctuation,
     list brackets, arithmetic operators, comparison operators, the rule
     arrow [:-], the query arrow [?-] and the [not] keyword.  Comments run
-    from [%] to end of line. *)
+    from [%] to end of line.  Every token carries its line/column span in
+    the input, so parse errors and static-analysis diagnostics can point
+    into the source text. *)
 
 type token =
   | IDENT of string
@@ -31,10 +33,11 @@ type token =
   | GE
   | EOF
 
-exception Error of string * int
-(** Lexical error message and character offset. *)
+exception Error of string * Loc.t
+(** Lexical error message and source span.  Call sites that only have a
+    byte offset can recover a position with {!Loc.of_offset}. *)
 
-val tokenize : string -> token list
+val tokenize : string -> (token * Loc.t) list
 (** Lex a whole input, ending with [EOF].  @raise Error on bad input. *)
 
 val pp_token : token Fmt.t

@@ -1,17 +1,47 @@
 exception Error of string
 
-type state = { mutable toks : Lexer.token list; mutable fresh : int }
+type error = { message : string; span : Loc.t }
+
+exception Located of error
+(* internal: every failure is raised with its span, and the unlocated
+   public entry points render it into the compatibility [Error] message *)
+
+type clause_spans = {
+  clause_span : Loc.t;
+  head_span : Loc.t;
+  literal_spans : Loc.t list;
+}
+
+type source_map = { clauses : clause_spans list; query_span : Loc.t option }
+
+let empty_map = { clauses = []; query_span = None }
+
+let rule_spans map i = List.nth_opt map.clauses i
+
+type state = {
+  mutable toks : (Lexer.token * Loc.t) list;
+  mutable fresh : int;
+  mutable last : Loc.t; (* span of the most recently consumed token *)
+}
+
+let cur_span st = match st.toks with [] -> st.last | (_, sp) :: _ -> sp
 
 let fail st msg =
-  let tok = match st.toks with [] -> Lexer.EOF | t :: _ -> t in
-  raise (Error (Fmt.str "%s (at %a)" msg Lexer.pp_token tok))
+  let tok = match st.toks with [] -> Lexer.EOF | (t, _) :: _ -> t in
+  raise
+    (Located
+       { message = Fmt.str "%s (at %a)" msg Lexer.pp_token tok; span = cur_span st })
 
-let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let peek st = match st.toks with [] -> Lexer.EOF | (t, _) :: _ -> t
 
-let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | (_, sp) :: rest ->
+    st.last <- sp;
+    st.toks <- rest
 
-let expect st tok msg =
-  if peek st = tok then advance st else fail st msg
+let expect st tok msg = if peek st = tok then advance st else fail st msg
 
 let fresh_var st =
   let n = st.fresh in
@@ -125,6 +155,12 @@ let parse_atom_or_builtin st =
     Atom.make op [ t; u ]
   | None -> atom_of_term st t
 
+(* parse one element while recording the span it covers *)
+let spanned st f =
+  let start = cur_span st in
+  let v = f st in
+  (v, Loc.merge start st.last)
+
 let parse_literal st =
   match peek st with
   | Lexer.NOT ->
@@ -135,19 +171,20 @@ let parse_literal st =
 let parse_clause st =
   match peek st with
   | Lexer.QUERY ->
+    let start = cur_span st in
     advance st;
     let a = parse_atom_or_builtin st in
     expect st Lexer.DOT "expected '.' after query";
-    `Query a
+    `Query (a, Loc.merge start st.last)
   | _ ->
-    let head = parse_atom_or_builtin st in
+    let head, head_span = spanned st parse_atom_or_builtin in
     if Atom.is_builtin head then fail st "a rule head cannot be a builtin";
     let body =
       match peek st with
       | Lexer.ARROW ->
         advance st;
         let rec lits () =
-          let l = parse_literal st in
+          let l = spanned st parse_literal in
           match peek st with
           | Lexer.COMMA ->
             advance st;
@@ -158,42 +195,73 @@ let parse_clause st =
       | _ -> []
     in
     expect st Lexer.DOT "expected '.' after rule";
-    `Rule (Rule.make head body)
+    let spans =
+      {
+        clause_span = Loc.merge head_span st.last;
+        head_span;
+        literal_spans = List.map snd body;
+      }
+    in
+    `Rule (Rule.make head (List.map fst body), spans)
 
 let make_state input =
-  let toks =
-    try Lexer.tokenize input
-    with Lexer.Error (msg, pos) -> raise (Error (Fmt.str "%s at offset %d" msg pos))
-  in
-  { toks; fresh = 0 }
+  let toks = Lexer.tokenize input in
+  { toks; fresh = 0; last = Loc.dummy }
+
+let parse_program_spanned input =
+  try
+    let st = make_state input in
+    let rec loop rules spans query query_span =
+      match peek st with
+      | Lexer.EOF ->
+        Ok
+          ( Program.make (List.rev rules),
+            query,
+            { clauses = List.rev spans; query_span } )
+      | _ -> begin
+        match parse_clause st with
+        | `Rule (r, sp) -> loop (r :: rules) (sp :: spans) query query_span
+        | `Query (q, sp) -> loop rules spans (Some q) (Some sp)
+      end
+    in
+    loop [] [] None None
+  with
+  | Located e -> Stdlib.Error e
+  | Lexer.Error (message, span) -> Stdlib.Error { message; span }
+
+let located_failure { message; span } =
+  if Loc.is_dummy span then Error message
+  else Error (Fmt.str "%a: %s" Loc.pp span message)
 
 let parse_program input =
-  let st = make_state input in
-  let rec loop rules query =
-    match peek st with
-    | Lexer.EOF -> (Program.make (List.rev rules), query)
-    | _ -> begin
-      match parse_clause st with
-      | `Rule r -> loop (r :: rules) query
-      | `Query q -> loop rules (Some q)
-    end
-  in
-  loop [] None
+  match parse_program_spanned input with
+  | Ok (program, query, _) -> (program, query)
+  | Stdlib.Error e -> raise (located_failure e)
+
+let relocate f =
+  (* wrap a parsing function so single-item entry points report located
+     errors through the compatibility exception *)
+  try f () with
+  | Located e -> raise (located_failure e)
+  | Lexer.Error (message, span) -> raise (located_failure { message; span })
 
 let parse_one f input =
-  let st = make_state input in
-  let v = f st in
-  if peek st <> Lexer.EOF then fail st "trailing input";
-  v
+  relocate (fun () ->
+      let st = make_state input in
+      let v = f st in
+      if peek st <> Lexer.EOF then fail st "trailing input";
+      v)
 
 let parse_term input = parse_one parse_term input
 let parse_atom input = parse_one parse_atom_or_builtin input
 
 let parse_rule input =
-  let st = make_state input in
-  match parse_clause st with
-  | `Rule r -> if peek st <> Lexer.EOF then fail st "trailing input" else r
-  | `Query _ -> raise (Error "expected a rule, found a query")
+  relocate (fun () ->
+      let st = make_state input in
+      match parse_clause st with
+      | `Rule (r, _) ->
+        if peek st <> Lexer.EOF then fail st "trailing input" else r
+      | `Query _ -> raise (Error "expected a rule, found a query"))
 
 let split_facts p =
   (* a ground fact becomes extensional only if its predicate heads no

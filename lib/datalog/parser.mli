@@ -19,6 +19,29 @@
     given a distinct fresh name. *)
 
 exception Error of string
+(** Raised by the unlocated entry points; the message carries the failure's
+    line and column ("L:C: ...") when it has a source position. *)
+
+type error = { message : string; span : Loc.t }
+(** A located syntax error, as returned by {!parse_program_spanned}. *)
+
+type clause_spans = {
+  clause_span : Loc.t;  (** the whole clause, head through final dot *)
+  head_span : Loc.t;
+  literal_spans : Loc.t list;  (** one span per body literal, in order *)
+}
+
+type source_map = {
+  clauses : clause_spans list;
+      (** index-aligned with the rules of the parsed program (including
+          facts, before {!split_facts}) *)
+  query_span : Loc.t option;
+}
+
+val empty_map : source_map
+
+val rule_spans : source_map -> int -> clause_spans option
+(** Spans of the i-th clause of the parsed program, if known. *)
 
 val parse_term : string -> Term.t
 val parse_atom : string -> Atom.t
@@ -28,6 +51,12 @@ val parse_program : string -> Program.t * Atom.t option
 (** Parse a whole source text; the optional atom is the last [?-] query.
     Facts (rules with empty bodies) are kept in the program — use
     {!split_facts} to separate them into an extensional database. *)
+
+val parse_program_spanned :
+  string -> (Program.t * Atom.t option * source_map, error) result
+(** Like {!parse_program}, but returns the clause-level source spans and
+    reports syntax (and lexical) errors as located values instead of
+    raising. *)
 
 val split_facts : Program.t -> Program.t * Atom.t list
 (** Separate ground facts from proper rules. *)

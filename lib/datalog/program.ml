@@ -65,130 +65,23 @@ let well_formed p =
   in
   check_rules p.rules
 
-let dependency_graph p =
-  let idb = derived p in
-  Symbol.Set.fold
-    (fun sym acc ->
-      let deps =
-        List.concat_map
-          (fun r ->
-            if Symbol.equal (Atom.symbol r.Rule.head) sym then
-              List.filter_map
-                (fun lit ->
-                  let a = Rule.atom_of_literal lit in
-                  if Atom.is_builtin a then None
-                  else Some (Atom.symbol a, not (Rule.is_positive lit)))
-                r.Rule.body
-            else [])
-          p.rules
-      in
-      let deps = List.sort_uniq (fun (a, na) (b, nb) ->
-          let c = Symbol.compare a b in
-          if c <> 0 then c else Bool.compare na nb) deps
-      in
-      (sym, deps) :: acc)
-    idb []
+(* The dependency analyses delegate to the shared {!Depgraph} module,
+   which also powers the static analyzer's stratification and
+   reachability passes. *)
+let depgraph p = Depgraph.of_rules p.rules
 
-(* Tarjan's algorithm over derived predicates. *)
-let sccs p =
-  let graph = dependency_graph p in
-  let idb = derived p in
-  let succ = Hashtbl.create 16 in
-  List.iter
-    (fun (sym, deps) ->
-      let ds =
-        List.filter_map
-          (fun (d, _) -> if Symbol.Set.mem d idb then Some d else None)
-          deps
-      in
-      Hashtbl.replace succ sym ds)
-    graph;
-  let index = ref 0 in
-  let indices = Symbol.Tbl.create 16 in
-  let lowlink = Symbol.Tbl.create 16 in
-  let on_stack = Symbol.Tbl.create 16 in
-  let stack = ref [] in
-  let components = ref [] in
-  let rec strongconnect v =
-    Symbol.Tbl.replace indices v !index;
-    Symbol.Tbl.replace lowlink v !index;
-    incr index;
-    stack := v :: !stack;
-    Symbol.Tbl.replace on_stack v true;
-    List.iter
-      (fun w ->
-        if not (Symbol.Tbl.mem indices w) then begin
-          strongconnect w;
-          let lv = Symbol.Tbl.find lowlink v and lw = Symbol.Tbl.find lowlink w in
-          if lw < lv then Symbol.Tbl.replace lowlink v lw
-        end
-        else if Option.value ~default:false (Symbol.Tbl.find_opt on_stack w) then begin
-          let lv = Symbol.Tbl.find lowlink v and iw = Symbol.Tbl.find indices w in
-          if iw < lv then Symbol.Tbl.replace lowlink v iw
-        end)
-      (Option.value ~default:[] (Hashtbl.find_opt succ v));
-    if Symbol.Tbl.find lowlink v = Symbol.Tbl.find indices v then begin
-      let rec pop acc =
-        match !stack with
-        | [] -> acc
-        | w :: rest ->
-          stack := rest;
-          Symbol.Tbl.replace on_stack w false;
-          if Symbol.equal w v then w :: acc else pop (w :: acc)
-      in
-      components := pop [] :: !components
-    end
-  in
-  Symbol.Set.iter (fun v -> if not (Symbol.Tbl.mem indices v) then strongconnect v) idb;
-  (* Tarjan emits components in reverse topological order of the condensed
-     graph when collected in discovery order; we accumulated by prepending,
-     so reverse to get callees first. *)
-  List.rev !components
+let dependency_graph p = Depgraph.pred_deps (depgraph p)
+
+let sccs p = Depgraph.sccs (depgraph p)
 
 let is_recursive p sym =
-  let graph = dependency_graph p in
-  let direct =
-    List.exists
-      (fun (s, deps) -> Symbol.equal s sym && List.exists (fun (d, _) -> Symbol.equal d sym) deps)
-      graph
-  in
-  direct
-  || List.exists (fun comp -> List.length comp > 1 && List.exists (Symbol.equal sym) comp)
-       (sccs p)
+  let g = depgraph p in
+  List.exists (fun (d, _) -> Symbol.equal d sym) (Depgraph.successors g sym)
+  || List.exists
+       (fun comp -> List.length comp > 1 && List.exists (Symbol.equal sym) comp)
+       (Depgraph.sccs g)
 
-let stratify p =
-  let graph = dependency_graph p in
-  let idb = derived p in
-  let stratum = Symbol.Tbl.create 16 in
-  Symbol.Set.iter (fun s -> Symbol.Tbl.replace stratum s 0) idb;
-  let n = Symbol.Set.cardinal idb in
-  let changed = ref true in
-  let rounds = ref 0 in
-  let error = ref None in
-  while !changed && !error = None do
-    changed := false;
-    incr rounds;
-    if !rounds > n + 1 then
-      error := Some "negation through recursion: the program is not stratifiable";
-    List.iter
-      (fun (head, deps) ->
-        List.iter
-          (fun (dep, negated) ->
-            if Symbol.Set.mem dep idb then begin
-              let sd = Symbol.Tbl.find stratum dep in
-              let sh = Symbol.Tbl.find stratum head in
-              let required = if negated then sd + 1 else sd in
-              if sh < required then begin
-                Symbol.Tbl.replace stratum head required;
-                changed := true
-              end
-            end)
-          deps)
-      graph
-  done;
-  match !error with
-  | Some e -> Error e
-  | None -> Ok (fun s -> Option.value ~default:0 (Symbol.Tbl.find_opt stratum s))
+let stratify p = Depgraph.stratify (depgraph p)
 
 let rename_pred f p =
   let rename_atom a = { a with Atom.pred = f a.Atom.pred } in

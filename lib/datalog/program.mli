@@ -32,6 +32,9 @@ val well_formed : t -> (unit, string) result
 (** All rules well-formed and no base predicate in a head position is
     violated by construction; checks rules pairwise-consistent arities. *)
 
+val depgraph : t -> Depgraph.t
+(** The program's predicate dependency graph; see {!Depgraph}. *)
+
 val dependency_graph : t -> (Symbol.t * (Symbol.t * bool) list) list
 (** For each derived predicate, the list of predicates its rules depend on;
     the flag is [true] for dependencies through a negated literal. *)

@@ -23,29 +23,36 @@ let vars r =
   let acc = Atom.add_vars r.head [] in
   List.rev (List.fold_left (fun acc a -> Atom.add_vars a acc) acc (body_atoms r))
 
+(* Variables that occur in some positive body literal (builtins included:
+   an equality can bind its variables). *)
+let positive_body_vars r =
+  List.rev (List.fold_left (fun acc a -> Atom.add_vars a acc) [] (positive_body r))
+
+let unrestricted_head_vars r =
+  let pos_vars = positive_body_vars r in
+  List.filter (fun v -> not (List.mem v pos_vars)) (Atom.vars r.head)
+
+let unrestricted_negated_vars r =
+  let pos_vars = positive_body_vars r in
+  List.concat_map
+    (function
+      | Pos _ -> []
+      | Neg a ->
+        List.filter_map
+          (fun v -> if List.mem v pos_vars then None else Some (v, a))
+          (Atom.vars a))
+    r.body
+
 let well_formed r =
-  let pos_vars =
-    List.fold_left (fun acc a -> Atom.add_vars a acc) [] (positive_body r)
-  in
   (* Head variables that do not occur in a positive body literal are
      tolerated (e.g. the paper's append(V, [W|X], [W|Y]) :- append(V, X, Y)):
      such rules are unsafe for naive bottom-up evaluation — the engine
      reports this dynamically — but become safe once a magic guard binds
-     the head's variables. *)
-  let missing_head = [] in
-  let missing_neg =
-    List.concat_map
-      (function
-        | Pos _ -> []
-        | Neg a -> List.filter (fun v -> not (List.mem v pos_vars)) (Atom.vars a))
-      r.body
-  in
-  match missing_head, missing_neg with
-  | [], [] -> Ok ()
-  | v :: _, _ ->
-    Error (Fmt.str "head variable %s of %a does not occur in a positive body literal" v
-             Atom.pp r.head)
-  | [], v :: _ ->
+     the head's variables.  The static analyzer's safety pass
+     (Analysis.Pass_safety) reports both cases with source positions. *)
+  match unrestricted_negated_vars r with
+  | [] -> Ok ()
+  | (v, _) :: _ ->
     Error (Fmt.str "variable %s of a negated literal in the rule for %a is not range-restricted"
              v Atom.pp r.head)
 

@@ -28,6 +28,18 @@ val vars : t -> string list
 
 val body_vars : t -> string list
 
+val positive_body_vars : t -> string list
+(** Variables occurring in some positive body literal (builtins included:
+    an equality can bind), in first-occurrence order. *)
+
+val unrestricted_head_vars : t -> string list
+(** Head variables that occur in no positive body literal — the rule is
+    unsafe for plain bottom-up evaluation unless a rewriting binds them. *)
+
+val unrestricted_negated_vars : t -> (string * Atom.t) list
+(** Variables of negated literals that occur in no positive body literal,
+    with the offending literal's atom; always an error. *)
+
 val well_formed : t -> (unit, string) result
 (** Checks that every variable of a negated literal occurs in a positive
     literal (range restriction).  The paper's (WF) condition — head

@@ -23,6 +23,33 @@ let run_method ?max_facts name program query edb =
   let m = List.assoc name C.Rewrite.methods in
   C.Rewrite.run ?max_facts m program query ~edb
 
+(* every strategy's rewritten output must satisfy the structural
+   invariants of Sections 4-7; a strategy may refuse a program outright
+   (Invalid_argument), which is not an invariant violation *)
+let all_strategies = [ C.Rewrite.GMS; C.Rewrite.GSMS; C.Rewrite.GC; C.Rewrite.GSC ]
+
+let lint_clean name program query =
+  List.iter
+    (fun strategy ->
+      match C.Rewrite.rewrite strategy program query with
+      | exception Invalid_argument _ -> ()
+      | rw -> (
+        match Analysis.Rewrite_lint.check rw with
+        | [] -> ()
+        | d :: _ ->
+          Alcotest.failf "%s: %s rewrite violates invariants: %a" name
+            (C.Rewrite.rewriting_to_string strategy)
+            Analysis.Diagnostic.pp d))
+    all_strategies
+
+let lint_ok program query =
+  List.for_all
+    (fun strategy ->
+      match C.Rewrite.rewrite strategy program query with
+      | exception Invalid_argument _ -> true
+      | rw -> Analysis.Rewrite_lint.check rw = [])
+    all_strategies
+
 (* rule-set equality modulo order: used to lock appendix outputs *)
 let same_rule_set p1 p2 =
   let norm p = List.sort Rule.compare (Program.rules p) in

@@ -11,6 +11,7 @@ module C = Magic_core
 let method_names = [ "naive"; "seminaive"; "tabled"; "gms"; "gsms"; "gc"; "gsc"; "gc-sj"; "gsc-sj" ]
 
 let check_all_agree ?(skip = []) ?(max_facts = 500_000) name program query edb =
+  lint_clean name program query;
   let reference = run_method ~max_facts "seminaive" program query edb in
   Alcotest.(check bool)
     (name ^ " reference ok") true
@@ -75,6 +76,7 @@ let test_list_reverse () =
   (* plain bottom-up is unsafe here; compare the rewritings against SLD *)
   let program = Workload.Programs.list_reverse in
   let query = Workload.Programs.reverse_query (Workload.Generate.list_of_ints 12) in
+  lint_clean "list reverse" program query;
   let edb = Engine.Database.create () in
   let reference = run_method "sld" program query edb in
   List.iter

@@ -27,4 +27,5 @@ let () =
       ("explain", Test_explain.suite);
       ("viz", Test_viz.suite);
       ("random-programs", Test_random_programs.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -66,6 +66,11 @@ let prop_sip_variants =
           r.C.Rewrite.status = C.Rewrite.Ok && sorted_answers r = reference)
         [ C.Sip.chain_left_to_right; C.Sip.head_only; C.Sip.none ])
 
+let prop_rewrites_lint_clean =
+  qtest ~count:60 "random programs: rewritten outputs pass the invariant linter"
+    gen_case
+    (fun (src, _) -> lint_ok (program src) query)
+
 let prop_theorem_9_1_random_programs =
   qtest ~count:30 "random programs: GMS sip-optimal" gen_case (fun (src, facts) ->
       let p = program src in
@@ -93,6 +98,7 @@ let suite =
     prop_magic_family;
     prop_counting_agrees_when_terminating;
     prop_sip_variants;
+    prop_rewrites_lint_clean;
     prop_theorem_9_1_random_programs;
     prop_explain_random;
   ]
