@@ -62,6 +62,22 @@ let max_facts_arg =
     & opt int 5_000_000
     & info [ "max-facts" ] ~docv:"N" ~doc:"Fact budget before reporting divergence.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit result rows as JSON, in the row schema of BENCH_engine.json.")
+
+let status_string = function
+  | C.Rewrite.Ok -> "ok"
+  | C.Rewrite.Diverged -> "diverged"
+  | C.Rewrite.Unsafe _ -> "unsafe"
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
 (* ------------------------------------------------------------------ *)
 
 let adorn_cmd =
@@ -223,16 +239,26 @@ let method_conv =
   Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
 
 let eval_cmd =
-  let run file (name, method_) max_facts =
+  let run file (name, method_) max_facts json =
     let program, query, edb = load file in
-    let r = C.Rewrite.run ~max_facts method_ program query ~edb in
-    List.iter (fun t -> Fmt.pr "%a@." Engine.Tuple.pp t) r.C.Rewrite.answers;
-    Fmt.pr "%% method=%s status=%s %a@." name
-      (match r.C.Rewrite.status with
-      | C.Rewrite.Ok -> "ok"
-      | C.Rewrite.Diverged -> "diverged"
-      | C.Rewrite.Unsafe m -> "unsafe: " ^ m)
-      Engine.Stats.pp r.C.Rewrite.stats
+    let r, time_s = timed (fun () -> C.Rewrite.run ~max_facts method_ program query ~edb) in
+    if json then
+      Fmt.pr "%s@."
+        (Engine.Json_out.result_row
+           ~workload:(Filename.basename file)
+           ~meth:name
+           ~status:(status_string r.C.Rewrite.status)
+           r.C.Rewrite.stats ~time_s
+           ~answers:(List.length r.C.Rewrite.answers))
+    else begin
+      List.iter (fun t -> Fmt.pr "%a@." Engine.Tuple.pp t) r.C.Rewrite.answers;
+      Fmt.pr "%% method=%s status=%s %a@." name
+        (match r.C.Rewrite.status with
+        | C.Rewrite.Ok -> "ok"
+        | C.Rewrite.Diverged -> "diverged"
+        | C.Rewrite.Unsafe m -> "unsafe: " ^ m)
+        Engine.Stats.pp r.C.Rewrite.stats
+    end
   in
   let method_arg =
     Arg.(
@@ -244,7 +270,7 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate the query with one method and print the answers.")
-    (T.app (T.app (T.app (T.const run) file_arg) method_arg) max_facts_arg)
+    (T.app (T.app (T.app (T.app (T.const run) file_arg) method_arg) max_facts_arg) json_arg)
 
 let explain_cmd =
   let run file (_name, method_) fact_str =
@@ -285,26 +311,151 @@ let explain_cmd =
     (T.app (T.app (T.app (T.const run) file_arg) method_arg) fact_arg)
 
 let compare_cmd =
-  let run file max_facts =
+  let run file max_facts json =
     let program, query, edb = load file in
-    Fmt.pr "%-10s %-9s %8s %10s %10s %10s %8s@." "method" "status" "answers" "facts"
-      "firings" "probes" "iters";
-    List.iter
-      (fun (name, method_) ->
-        let r = C.Rewrite.run ~max_facts method_ program query ~edb in
-        Fmt.pr "%-10s %-9s %8d %10d %10d %10d %8d@." name
-          (match r.C.Rewrite.status with
-          | C.Rewrite.Ok -> "ok"
-          | C.Rewrite.Diverged -> "diverged"
-          | C.Rewrite.Unsafe _ -> "unsafe")
-          (List.length r.C.Rewrite.answers)
-          r.C.Rewrite.stats.Engine.Stats.facts r.C.Rewrite.stats.Engine.Stats.firings
-          r.C.Rewrite.stats.Engine.Stats.probes r.C.Rewrite.stats.Engine.Stats.iterations)
-      C.Rewrite.methods
+    if json then begin
+      let rows =
+        List.map
+          (fun (name, method_) ->
+            let r, time_s =
+              timed (fun () -> C.Rewrite.run ~max_facts method_ program query ~edb)
+            in
+            Engine.Json_out.result_row
+              ~workload:(Filename.basename file)
+              ~meth:name
+              ~status:(status_string r.C.Rewrite.status)
+              r.C.Rewrite.stats ~time_s
+              ~answers:(List.length r.C.Rewrite.answers))
+          C.Rewrite.methods
+      in
+      Fmt.pr "%s@." (Engine.Json_out.arr rows)
+    end
+    else begin
+      Fmt.pr "%-10s %-9s %8s %10s %10s %10s %8s@." "method" "status" "answers" "facts"
+        "firings" "probes" "iters";
+      List.iter
+        (fun (name, method_) ->
+          let r = C.Rewrite.run ~max_facts method_ program query ~edb in
+          Fmt.pr "%-10s %-9s %8d %10d %10d %10d %8d@." name
+            (status_string r.C.Rewrite.status)
+            (List.length r.C.Rewrite.answers)
+            r.C.Rewrite.stats.Engine.Stats.facts r.C.Rewrite.stats.Engine.Stats.firings
+            r.C.Rewrite.stats.Engine.Stats.probes r.C.Rewrite.stats.Engine.Stats.iterations)
+        C.Rewrite.methods
+    end
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every method on the query and tabulate statistics.")
-    (T.app (T.app (T.const run) file_arg) max_facts_arg)
+    (T.app (T.app (T.app (T.const run) file_arg) max_facts_arg) json_arg)
+
+let session_cmd =
+  let run file script_path (strategy_name, strategy) max_facts json =
+    let program, query, edb = load file in
+    let items =
+      match Incr.Script.parse (read_source script_path) with
+      | items -> items
+      | exception Incr.Script.Error m ->
+        Fmt.epr "%s: %s@." script_path m;
+        exit 1
+    in
+    (* the EDB as updated so far, kept alongside the session so that an
+       incompatible query (different binding pattern) can start a fresh
+       session from the current state *)
+    let shadow = Engine.Database.copy edb in
+    let workload = Filename.basename script_path in
+    let rows = ref [] in
+    let session = ref (Incr.Session.create ~strategy ~max_facts program query ~edb) in
+    let pending = ref [] in
+    let flush () =
+      match List.rev !pending with
+      | [] -> ()
+      | ops ->
+        pending := [];
+        List.iter
+          (function
+            | Incr.Maintain.Insert a -> ignore (Engine.Database.add_fact shadow a)
+            | Incr.Maintain.Delete a -> ignore (Engine.Database.remove_fact shadow a))
+          ops;
+        let stats, time_s = timed (fun () -> Incr.Session.update ~max_facts !session ops) in
+        if json then
+          rows :=
+            Engine.Json_out.result_row ~workload
+              ~meth:("txn:" ^ strategy_name)
+              ~status:"ok" stats ~time_s ~answers:(List.length ops)
+            :: !rows
+        else Fmt.pr "%% txn %d ops: %a@." (List.length ops) Engine.Stats.pp stats
+    in
+    let run_query q =
+      flush ();
+      let (answers, stats), time_s =
+        timed (fun () ->
+            try Incr.Session.query ~max_facts !session q
+            with Incr.Session.Incompatible_query _ ->
+              (* the adornment differs: rebuild the session for the new
+                 binding pattern over the current EDB state *)
+              session := Incr.Session.create ~strategy ~max_facts program q ~edb:shadow;
+              (Incr.Session.answers !session, Engine.Stats.create ()))
+      in
+      if json then
+        rows :=
+          Engine.Json_out.result_row ~workload
+            ~meth:("query:" ^ strategy_name)
+            ~status:"ok" stats ~time_s
+            ~answers:(List.length answers)
+          :: !rows
+      else begin
+        List.iter (fun t -> Fmt.pr "%a@." Engine.Tuple.pp t) answers;
+        Fmt.pr "%% query %a: %d answers %a@." Atom.pp q (List.length answers)
+          Engine.Stats.pp stats
+      end
+    in
+    (try
+       List.iter
+         (function
+           | Incr.Script.Assert a -> pending := Incr.Maintain.Insert a :: !pending
+           | Incr.Script.Retract a -> pending := Incr.Maintain.Delete a :: !pending
+           | Incr.Script.Query q -> run_query q)
+         items;
+       flush ()
+     with Incr.Maintain.Budget_exhausted ->
+       Fmt.epr "magic session: fact budget exhausted (see --max-facts)@.";
+       exit 1);
+    if json then Fmt.pr "%s@." (Engine.Json_out.arr (List.rev !rows))
+  in
+  let script_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "script" ] ~docv:"UPDATES"
+          ~doc:"Update script: lines of '+fact.', '-fact.' and '? query.'.")
+  in
+  let strategy_arg =
+    let strategy_conv =
+      let parse s =
+        match Incr.Session.strategy_of_string s with
+        | Some st -> Stdlib.Ok (s, st)
+        | None ->
+          Stdlib.Error
+            (`Msg (Fmt.str "unknown session strategy %S (expected original, gms or gsms)" s))
+      in
+      Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
+    in
+    Arg.(
+      value
+      & opt strategy_conv ("gms", Incr.Session.GMS)
+      & info [ "strategy"; "s" ] ~docv:"S"
+          ~doc:"Session strategy: original, gms or gsms (counting strategies \
+                have query-specific indices and cannot be maintained).")
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Keep one materialized (optionally magic-rewritten) program and run an \
+             update script against it: transactions repair the derived relations \
+             incrementally, and compatible new queries only install new seed facts.")
+    (T.app
+       (T.app (T.app (T.app (T.app (T.const run) file_arg) script_arg) strategy_arg)
+          max_facts_arg)
+       json_arg)
 
 let () =
   let doc = "magic-sets rewriting of recursive Datalog queries (Beeri & Ramakrishnan)" in
@@ -312,4 +463,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; adorn_cmd; rewrite_cmd; safety_cmd; eval_cmd; explain_cmd; compare_cmd ]))
+          [
+            check_cmd;
+            adorn_cmd;
+            rewrite_cmd;
+            safety_cmd;
+            eval_cmd;
+            explain_cmd;
+            compare_cmd;
+            session_cmd;
+          ]))

@@ -22,6 +22,15 @@ let add_fact db a =
   add_tuple db (Atom.symbol a)
     (Array.of_list (List.map Term.eval a.Atom.args))
 
+let remove_tuple db sym t =
+  match find db sym with None -> false | Some r -> Relation.remove r t
+
+let remove_fact db a =
+  if not (Atom.is_ground a) then
+    invalid_arg (Fmt.str "Database.remove_fact: non-ground atom %a" Atom.pp a);
+  remove_tuple db (Atom.symbol a)
+    (Array.of_list (List.map Term.eval a.Atom.args))
+
 let mem db a =
   match find db (Atom.symbol a) with
   | None -> false

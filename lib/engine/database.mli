@@ -18,6 +18,13 @@ val add_fact : t -> Atom.t -> bool
     @raise Invalid_argument on a non-ground atom. *)
 
 val add_tuple : t -> Symbol.t -> Tuple.t -> bool
+
+val remove_fact : t -> Atom.t -> bool
+(** Delete a ground atom; returns [true] iff it was present
+    ({!Relation.remove} semantics: the stamp is tombstoned, not reused).
+    @raise Invalid_argument on a non-ground atom. *)
+
+val remove_tuple : t -> Symbol.t -> Tuple.t -> bool
 val mem : t -> Atom.t -> bool
 
 (** Membership on the raw tuple level; no arithmetic evaluation. *)

@@ -54,7 +54,7 @@ let naive_round ~stats ~budget db plans =
   let source = Plan.db_source db in
   List.iter
     (fun plan ->
-      Plan.run ~stats ~source ~neg_source:(full_source db)
+      Plan.run ~stats ~source ~neg_source:source
         ~on_fact:(fun sym tuple ->
           let is_new = Database.add_tuple db sym tuple in
           Stats.record_fact stats sym ~is_new;
@@ -141,14 +141,15 @@ let run_stratum_seminaive ~stats ~budget db rules =
          facts play the role of the delta; in-round derivations land
          beyond the [d] watermark and are invisible until rotation *)
       start_round ~stats ~budget;
-      let source0 _ sym =
+      let db_src = Plan.db_source db in
+      let source0 lit sym =
         match mark_of sym with
-        | Some (_, rel, _, d) -> Some { Plan.rel; lo = 0; hi = !d }
-        | None -> Option.map Plan.full (Database.find db sym)
+        | Some (_, rel, _, d) -> [ { Plan.rel; lo = 0; hi = !d } ]
+        | None -> db_src lit sym
       in
       List.iter
         (fun (plan, record) ->
-          Plan.run ~stats ~source:source0 ~neg_source:(full_source db) ~on_fact:record
+          Plan.run ~stats ~source:source0 ~neg_source:db_src ~on_fact:record
             plan.Plan.base)
         recorders;
       rotate ();
@@ -175,24 +176,21 @@ let run_stratum_seminaive ~stats ~budget db rules =
                           let sym = Atom.symbol a in
                           match mark_of sym with
                           | Some (_, rel, o, d) ->
-                            if lit = dpos then Some { Plan.rel; lo = !o; hi = !d }
-                            else if lit < dpos then Some { Plan.rel; lo = 0; hi = !o }
-                            else Some { Plan.rel; lo = 0; hi = !d }
-                          | None ->
-                            Option.map Plan.full (Database.find db sym)
+                            if lit = dpos then [ { Plan.rel; lo = !o; hi = !d } ]
+                            else if lit < dpos then [ { Plan.rel; lo = 0; hi = !o } ]
+                            else [ { Plan.rel; lo = 0; hi = !d } ]
+                          | None -> db_src lit sym
                         end
-                        | Rule.Pos _ | Rule.Neg _ -> None)
+                        | Rule.Pos _ | Rule.Neg _ -> [])
                       body
                   in
                   let delta_empty =
-                    match srcs.(dpos) with
-                    | Some v -> v.Plan.lo = v.Plan.hi
-                    | None -> true
+                    List.for_all (fun v -> v.Plan.lo >= v.Plan.hi) srcs.(dpos)
                   in
                   if not delta_empty then
                     Plan.run ~stats
                       ~source:(fun lit _ -> srcs.(lit))
-                      ~neg_source:(full_source db) ~on_fact:record instance)
+                      ~neg_source:db_src ~on_fact:record instance)
                 plan.Plan.delta)
             recorders;
           rotate ();

@@ -1,0 +1,27 @@
+(* Hand-rolled JSON emission shared by the bench harness and the CLI's
+   --json modes, so both produce rows with an identical schema and the
+   committed BENCH_engine.json can be diffed against CLI output. *)
+
+let str s = Fmt.str "%S" s
+let field k v = Fmt.str "%S: %s" k v
+let obj fields = "{" ^ String.concat ", " fields ^ "}"
+let arr rows = "[\n    " ^ String.concat ",\n    " rows ^ "\n  ]"
+
+let stats_fields (s : Stats.t) ~time_s =
+  [
+    field "iterations" (string_of_int s.Stats.iterations);
+    field "firings" (string_of_int s.Stats.firings);
+    field "facts" (string_of_int s.Stats.facts);
+    field "rederivations" (string_of_int s.Stats.rederivations);
+    field "probes" (string_of_int s.Stats.probes);
+    field "overdeleted" (string_of_int s.Stats.overdeleted);
+    field "rederived" (string_of_int s.Stats.rederived);
+    field "delta_firings" (string_of_int s.Stats.delta_firings);
+    field "time_s" (Fmt.str "%.6f" time_s);
+  ]
+
+let result_row ~workload ~meth ~status stats ~time_s ~answers =
+  obj
+    ([ field "workload" (str workload); field "method" (str meth); field "status" (str status) ]
+    @ stats_fields stats ~time_s
+    @ [ field "answers" (string_of_int answers) ])

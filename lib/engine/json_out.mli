@@ -1,0 +1,28 @@
+(** Minimal JSON emission shared by the bench harness and the CLI's
+    [--json] modes: one schema for result rows everywhere, no external
+    JSON dependency. *)
+
+val str : string -> string
+(** A JSON string literal (quoted and escaped). *)
+
+val field : string -> string -> string
+(** [field k v] is [ "k": v ] with [v] inserted verbatim (already JSON). *)
+
+val obj : string list -> string
+val arr : string list -> string
+
+val stats_fields : Stats.t -> time_s:float -> string list
+(** The common statistics fields of a result row, including the
+    incremental-maintenance counters. *)
+
+val result_row :
+  workload:string ->
+  meth:string ->
+  status:string ->
+  Stats.t ->
+  time_s:float ->
+  answers:int ->
+  string
+(** One evaluation result row: workload, method, status, statistics,
+    wall-clock seconds, answer count — the row schema of
+    [BENCH_engine.json] and of [magic eval --json]. *)

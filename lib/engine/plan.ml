@@ -16,7 +16,7 @@ type step =
   | Scan of scan
   | Builtin of Atom.t
   | Neg_builtin of Atom.t
-  | Neg_scan of { sym : Symbol.t; atom : Atom.t; key : slot array option }
+  | Neg_scan of { lit : int; sym : Symbol.t; atom : Atom.t; key : slot array option }
 
 type emit = Direct of Symbol.t * slot array | Dynamic of Atom.t
 
@@ -268,7 +268,7 @@ let compile_instance rule ordered =
                   Some (Array.of_list (List.map (slot_of !bound) atom.Atom.args))
                 else None
               in
-              Neg_scan { sym = Atom.symbol atom; atom; key }
+              Neg_scan { lit = i; sym = Atom.symbol atom; atom; key }
         in
         bound := bound_after !bound lit;
         step)
@@ -322,10 +322,25 @@ let compile_stratum rules =
 
 type view = { rel : Relation.t; lo : int; hi : int }
 
-type source = int -> Symbol.t -> view option
+(* A literal reads the union of a list of disjoint stamp-range views.
+   The ordinary engines use singleton lists (one relation per literal);
+   the incremental maintenance layer reads e.g. the pre-update state of a
+   relation as "post-deletion range + the deleted set" without copying
+   either. *)
+type source = int -> Symbol.t -> view list
 
 let full rel = { rel; lo = 0; hi = max_int }
-let db_source db _ sym = Option.map full (Database.find db sym)
+
+let db_source db _ sym =
+  match Database.find db sym with Some r -> [ full r ] | None -> []
+
+let view_mem views key =
+  List.exists (fun v -> Relation.mem_in v.rel ~lo:v.lo ~hi:v.hi key) views
+
+let views_iter_matching views ~pattern ~key f =
+  List.iter
+    (fun v -> Relation.iter_matching_in v.rel ~pattern ~key ~lo:v.lo ~hi:v.hi f)
+    views
 
 let bump_probes stats =
   match stats with None -> () | Some s -> s.Stats.probes <- s.Stats.probes + 1
@@ -365,19 +380,18 @@ let run_fast ?stats ~source ~on_fact f =
     else
       let s = f.fsteps.(i) in
       match source s.flit s.fsym with
-      | None -> ()
-      | Some v ->
+      | [] -> ()
+      | views ->
         let key = s.fkeybuf in
         for j = 0 to Array.length s.fkey - 1 do
           key.(j) <- (match s.fkey.(j) with Fconst t -> t | Fbound w -> env.(w))
         done;
         bump ();
         if s.fall_bound then begin
-          if Relation.mem_in v.rel ~lo:v.lo ~hi:v.hi key then go (i + 1)
+          if view_mem views key then go (i + 1)
         end
         else
-          Relation.iter_matching_in v.rel ~pattern:s.fpattern ~key ~lo:v.lo ~hi:v.hi
-            (fun tuple ->
+          views_iter_matching views ~pattern:s.fpattern ~key (fun tuple ->
               let nfree = Array.length s.ffree in
               let rec apply j =
                 if j >= nfree then go (i + 1)
@@ -413,16 +427,15 @@ let run_generic ?stats ~source ~neg_source ~on_fact instance =
       match steps.(i) with
       | Scan s -> begin
         match source s.lit s.sym with
-        | None -> ()
-        | Some v ->
+        | [] -> ()
+        | views ->
           let key = eval_key subst s.key in
           bump_probes stats;
           if s.all_bound then begin
-            if Relation.mem_in v.rel ~lo:v.lo ~hi:v.hi key then go (i + 1) subst
+            if view_mem views key then go (i + 1) subst
           end
           else
-            Relation.iter_matching_in v.rel ~pattern:s.pattern ~key ~lo:v.lo ~hi:v.hi
-              (fun tuple ->
+            views_iter_matching views ~pattern:s.pattern ~key (fun tuple ->
                 match match_free s.free tuple subst with
                 | Some subst' -> go (i + 1) subst'
                 | None -> ())
@@ -439,15 +452,15 @@ let run_generic ?stats ~source ~neg_source ~on_fact instance =
           Solve.eval_builtin a subst (fun _ -> found := true);
           if not !found then go (i + 1) subst
         end
-      | Neg_scan { sym; atom; key } ->
+      | Neg_scan { lit; sym; atom; key } ->
         let holds =
           match key with
           | Some slots -> begin
-            match neg_source sym with
-            | None -> false
-            | Some rel ->
+            match neg_source lit sym with
+            | [] -> false
+            | views ->
               bump_probes stats;
-              Relation.mem rel (eval_key subst slots)
+              view_mem views (eval_key subst slots)
           end
           | None ->
             let a = Atom.apply_eval subst atom in
@@ -456,11 +469,11 @@ let run_generic ?stats ~source ~neg_source ~on_fact instance =
                 (Solve.Unsafe
                    (Fmt.str "negated literal %a reached with unbound variables" Atom.pp
                       a));
-            (match neg_source sym with
-             | None -> false
-             | Some rel ->
+            (match neg_source lit sym with
+             | [] -> false
+             | views ->
                bump_probes stats;
-               Relation.mem rel (Array.of_list a.Atom.args))
+               view_mem views (Array.of_list a.Atom.args))
         in
         if not holds then go (i + 1) subst
   in

@@ -58,10 +58,11 @@ type step =
   | Scan of scan  (** positive literal over a stored relation *)
   | Builtin of Atom.t  (** positive builtin comparison *)
   | Neg_builtin of Atom.t  (** negated builtin *)
-  | Neg_scan of { sym : Symbol.t; atom : Atom.t; key : slot array option }
-      (** negated relation literal; [key] is [Some] when every argument
-          is statically ground at this point (the common case), [None]
-          when groundness must be re-checked dynamically *)
+  | Neg_scan of { lit : int; sym : Symbol.t; atom : Atom.t; key : slot array option }
+      (** negated relation literal at original body position [lit];
+          [key] is [Some] when every argument is statically ground at
+          this point (the common case), [None] when groundness must be
+          re-checked dynamically *)
 
 type emit =
   | Direct of Symbol.t * slot array
@@ -107,11 +108,15 @@ type view = { rel : Relation.t; lo : int; hi : int }
     the semi-naive engine reads "old", "delta" and "new" as ranges over
     the single stored relation rather than separate merged copies. *)
 
-type source = int -> Symbol.t -> view option
-(** Where a scan step reads its tuples: [source lit sym] is the view for
-    body position [lit], or [None] when the predicate has no relation at
-    all (in which case the step performs no index work and counts no
-    probe, matching {!Solve}). *)
+type source = int -> Symbol.t -> view list
+(** Where a literal reads its tuples: [source lit sym] is a list of
+    pairwise-disjoint views whose union the literal at body position
+    [lit] enumerates (or tests membership in).  [[]] means the predicate
+    has no relation at all — the step performs no index work and counts
+    no probe, matching {!Solve}.  The ordinary engines pass singleton
+    lists; the incremental maintenance layer composes e.g. the
+    pre-update state of an updated relation as "post-deletion stamp
+    range + the deleted set" without copying either. *)
 
 val full : Relation.t -> view
 (** The whole relation, including tuples added later. *)
@@ -119,18 +124,22 @@ val full : Relation.t -> view
 val db_source : Database.t -> source
 (** Every literal reads the full database. *)
 
+val view_mem : view list -> Tuple.t -> bool
+(** Membership in the union of the views. *)
+
 val run :
   ?stats:Stats.t ->
   source:source ->
-  neg_source:(Symbol.t -> Relation.t option) ->
+  neg_source:source ->
   on_fact:(Symbol.t -> Tuple.t -> unit) ->
   instance ->
   unit
 (** Execute one instance: enumerate all body solutions by nested index
     scans and call [on_fact] with the ground head tuple of each.
     [neg_source] must be complete for every negated predicate
-    (guaranteed by stratification).
-    @raise Solve.Unsafe as {!Solve.solve} does. *)
+    (guaranteed by stratification); it receives the negated literal's
+    original body position, so maintenance passes can serve different
+    snapshots to different occurrences of the same predicate. *)
 
 val head_symbol : instance -> Symbol.t option
 (** The fixed head predicate of a statically-safe instance; [None] for

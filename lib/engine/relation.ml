@@ -1,4 +1,4 @@
-(* Single-storage relations with insertion stamps.
+(* Single-storage relations with insertion stamps and tombstoned deletion.
 
    Every tuple is appended once to an insertion log and stamped with its
    log position; the hash table maps each tuple to its stamp.  A stamp
@@ -6,6 +6,15 @@
    relation, which is what the semi-naive engine needs: "old", "delta"
    and "new" are ranges over one store instead of separate databases that
    must be re-hashed and merged every round.
+
+   Deletion never reuses a stamp: removing a tuple tombstones its log
+   slot, drops it from the stamp table and filters it out of every index
+   bucket.  A subsequent re-insertion of the same tuple appends a fresh
+   log entry with a fresh stamp, so it lands beyond every watermark taken
+   before the re-insertion — exactly the discipline the incremental
+   maintenance layer needs to tell "the post-deletion state" ([\[0, w)])
+   apart from "this transaction's insertions" ([\[w, size)]) without
+   copying the relation.
 
    Index buckets hold [(stamp, tuple)] pairs in descending stamp order
    (newest first), so a range-restricted probe skips the too-new prefix
@@ -18,16 +27,21 @@ type index = (int * Tuple.t) list ref Tuple.Tbl.t
 
 type t = {
   arity : int;
-  stamps : int Tuple.Tbl.t;  (* tuple -> insertion stamp *)
-  mutable log : Tuple.t array;  (* unique tuples in insertion order *)
+  stamps : int Tuple.Tbl.t;  (* live tuple -> insertion stamp *)
+  mutable log : Tuple.t array;  (* tuples in insertion order; removed slots tombstoned *)
   mutable len : int;
   mutable indexes : (bool array * int list * index) list;
 }
 
+(* A sentinel that is physically distinct from every real tuple: zero-
+   length arrays are shared atoms in OCaml, so an arity-0 relation's only
+   tuple [[||]] must not be used as the marker. *)
+let tombstone : Tuple.t = [| Datalog.Term.Sym "\000tombstone" |]
+
 let create arity = { arity; stamps = Tuple.Tbl.create 64; log = [||]; len = 0; indexes = [] }
 let arity r = r.arity
-let cardinal r = r.len
-let size = cardinal
+let cardinal r = Tuple.Tbl.length r.stamps
+let size r = r.len
 let mem r t = Tuple.Tbl.mem r.stamps t
 
 let mem_in r ~lo ~hi t =
@@ -69,10 +83,29 @@ let add r t =
     true
   end
 
+let remove r t =
+  match Tuple.Tbl.find_opt r.stamps t with
+  | None -> false
+  | Some stamp ->
+    Tuple.Tbl.remove r.stamps t;
+    r.log.(stamp) <- tombstone;
+    List.iter
+      (fun (_, positions, idx) ->
+        let key = Tuple.project positions t in
+        match Tuple.Tbl.find_opt idx key with
+        | None -> ()
+        | Some bucket ->
+          (match List.filter (fun (s, _) -> s <> stamp) !bucket with
+          | [] -> Tuple.Tbl.remove idx key
+          | remaining -> bucket := remaining))
+      r.indexes;
+    true
+
 let iter_in r ~lo ~hi f =
   let hi = min hi r.len in
   for i = max lo 0 to hi - 1 do
-    f r.log.(i)
+    let t = r.log.(i) in
+    if t != tombstone then f t
   done
 
 let iter f r = iter_in r ~lo:0 ~hi:r.len f
@@ -93,7 +126,8 @@ let ensure_index r pattern =
     let idx = Tuple.Tbl.create 64 in
     let positions = bound_positions pattern in
     for i = 0 to r.len - 1 do
-      index_add idx positions i r.log.(i)
+      let t = r.log.(i) in
+      if t != tombstone then index_add idx positions i t
     done;
     r.indexes <- (pattern, positions, idx) :: r.indexes;
     idx

@@ -9,7 +9,15 @@
     position.  A stamp range [\[lo, hi)] denotes the relation as it was
     between two past moments, which lets the semi-naive engine read the
     "old", "delta" and "new" versions of one stored relation without
-    maintaining and merging separate per-round copies ({!Eval}). *)
+    maintaining and merging separate per-round copies ({!Eval}).
+
+    Deletion ({!remove}) tombstones the tuple's log slot without reusing
+    its stamp; re-inserting the tuple later appends a fresh entry with a
+    fresh stamp.  Range views therefore stay coherent across updates: a
+    watermark [w] taken after a batch of deletions and before a batch of
+    insertions splits the relation into the post-deletion state
+    [\[0, w)] and the inserted delta [\[w, size)] — the discipline the
+    incremental maintenance layer ({!module:Incr}) builds on. *)
 
 type t
 
@@ -17,14 +25,22 @@ val create : int -> t
 (** [create arity] is a fresh empty relation. *)
 
 val arity : t -> int
+
 val cardinal : t -> int
+(** Number of live tuples (removed tuples excluded). *)
 
 val size : t -> int
 (** Current insertion stamp: tuples added from now on get stamps
-    [>= size r].  Equal to {!cardinal}. *)
+    [>= size r].  Equal to {!cardinal} only while no tuple has been
+    removed — stamps are never reused, so [size] never decreases. *)
 
 val add : t -> Tuple.t -> bool
 (** Insert; returns [true] iff the tuple is new. *)
+
+val remove : t -> Tuple.t -> bool
+(** Delete; returns [true] iff the tuple was present.  The tuple's log
+    slot is tombstoned (its stamp is not reused) and it is dropped from
+    every index; a later {!add} of the same tuple gets a fresh stamp. *)
 
 val mem : t -> Tuple.t -> bool
 
@@ -32,11 +48,11 @@ val mem_in : t -> lo:int -> hi:int -> Tuple.t -> bool
 (** Membership in the stamp range [\[lo, hi)]. *)
 
 val iter : (Tuple.t -> unit) -> t -> unit
-(** Iterate in insertion order.  Tuples added during the traversal are
-    not visited. *)
+(** Iterate the live tuples in insertion order.  Tuples added during the
+    traversal are not visited. *)
 
 val iter_in : t -> lo:int -> hi:int -> (Tuple.t -> unit) -> unit
-(** Iterate the tuples with stamps in [\[lo, hi)], oldest first. *)
+(** Iterate the live tuples with stamps in [\[lo, hi)], oldest first. *)
 
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Tuple.t list

@@ -7,6 +7,9 @@ type t = {
   mutable rederivations : int;
   mutable probes : int;
   mutable subqueries : int;
+  mutable overdeleted : int;
+  mutable rederived : int;
+  mutable delta_firings : int;
   per_pred : int ref Symbol.Tbl.t;
 }
 
@@ -18,6 +21,9 @@ let create () =
     rederivations = 0;
     probes = 0;
     subqueries = 0;
+    overdeleted = 0;
+    rederived = 0;
+    delta_firings = 0;
     per_pred = Symbol.Tbl.create 16;
   }
 
@@ -35,6 +41,9 @@ let record_fact s sym ~is_new =
 let facts_for s sym =
   match Symbol.Tbl.find_opt s.per_pred sym with Some n -> !n | None -> 0
 
+(* The result owns every one of its [per_pred] refs: counters copied from
+   [a] are re-allocated before [b]'s are folded in, so mutating the merge
+   never writes through to either input (and vice versa). *)
 let merge a b =
   let m = create () in
   m.iterations <- a.iterations + b.iterations;
@@ -43,6 +52,9 @@ let merge a b =
   m.rederivations <- a.rederivations + b.rederivations;
   m.probes <- a.probes + b.probes;
   m.subqueries <- a.subqueries + b.subqueries;
+  m.overdeleted <- a.overdeleted + b.overdeleted;
+  m.rederived <- a.rederived + b.rederived;
+  m.delta_firings <- a.delta_firings + b.delta_firings;
   Symbol.Tbl.iter (fun sym n -> Symbol.Tbl.replace m.per_pred sym (ref !n)) a.per_pred;
   Symbol.Tbl.iter
     (fun sym n ->
@@ -55,4 +67,7 @@ let merge a b =
 let pp ppf s =
   Fmt.pf ppf
     "iterations=%d firings=%d facts=%d rederivations=%d probes=%d subqueries=%d"
-    s.iterations s.firings s.facts s.rederivations s.probes s.subqueries
+    s.iterations s.firings s.facts s.rederivations s.probes s.subqueries;
+  if s.overdeleted <> 0 || s.rederived <> 0 || s.delta_firings <> 0 then
+    Fmt.pf ppf " overdeleted=%d rederived=%d delta_firings=%d" s.overdeleted
+      s.rederived s.delta_firings

@@ -14,6 +14,14 @@ type t = {
   mutable rederivations : int;  (** firings that produced an already-known fact *)
   mutable probes : int;  (** body-literal match attempts (join probes) *)
   mutable subqueries : int;  (** top-down only: distinct subgoals *)
+  mutable overdeleted : int;
+      (** incremental maintenance: tuples over-deleted by DRed's
+          deletion propagation before rederivation *)
+  mutable rederived : int;
+      (** incremental maintenance: over-deleted tuples restored because
+          an alternative derivation survived the update *)
+  mutable delta_firings : int;
+      (** incremental maintenance: delta-rule firings during repair *)
   per_pred : int ref Symbol.Tbl.t;
       (** distinct facts per predicate; read through {!facts_for} *)
 }
@@ -21,5 +29,10 @@ type t = {
 val create : unit -> t
 val record_fact : t -> Symbol.t -> is_new:bool -> unit
 val facts_for : t -> Symbol.t -> int
+
 val merge : t -> t -> t
+(** Sum of two stats.  The result shares no [per_pred] counter refs with
+    either input: every counter is copied, so later mutation of the
+    merge (or of the inputs) cannot alias or double-count. *)
+
 val pp : t Fmt.t

@@ -1,0 +1,739 @@
+(* Incremental view maintenance over the plan-compiled engine.
+
+   A {!t} holds a materialized database (EDB plus every derived
+   relation) for one program, and {!apply} repairs the derived relations
+   under a batch of insertions and deletions instead of recomputing them.
+   The algorithm is chosen per dependency unit — the strongly connected
+   components of the predicate dependency graph, processed callees-first
+   (a refinement of the stratification, so negated predicates are always
+   fully repaired before their readers):
+
+   - {e counting} for non-recursive predicates: a per-tuple support
+     count (number of distinct rule-body valuations deriving the tuple,
+     plus one if it is externally asserted) is maintained exactly, so a
+     tuple is deleted precisely when its last derivation disappears.
+     Lost and gained valuations are enumerated exactly once by a
+     two-pass delta discipline over stamp-range views (see
+     [run_counting_pass]);
+
+   - {e DRed} (delete-and-rederive) for recursive units, where counts
+     are not finite-maintainable: over-delete everything reachable from
+     the deleted tuples, rederive what has an alternative proof in the
+     remaining state, then run a semi-naive insertion fixpoint.
+
+   Relations are updated in place using the deletion discipline of
+   {!Engine.Relation}: removing a tuple tombstones its log slot, so a
+   watermark [w] taken after a unit's deletions and before its
+   insertions splits the stored relation into the carried-over state
+   [\[0, w)] and the inserted delta [\[w, size)] — and together with the
+   transaction's deleted-tuple relations this expresses the pre-update
+   ("old"), shared ("mid") and post-update ("new") versions of every
+   relation as unions of stamp-range views, with no copying. *)
+
+open Datalog
+module Db = Engine.Database
+module Rel = Engine.Relation
+module Tup = Engine.Tuple
+module Plan = Engine.Plan
+module Stats = Engine.Stats
+module Solve = Engine.Solve
+
+type op = Insert of Atom.t | Delete of Atom.t
+
+exception Budget_exhausted
+
+(* One rule compiled for maintenance: delta instances at every positive
+   non-builtin body position (any stored predicate may change), plus,
+   for each negated body position, a delta instance of the transformed
+   rule where that literal is replaced by a positive scan of a fresh
+   [$dneg$] predicate — bound at run time to the tuples entering
+   (deletion pass) or leaving (insertion pass) the negated relation. *)
+type mrule = {
+  rule : Rule.t;
+  body : Rule.literal array;
+  plan : Plan.t;
+  neg_deltas : (int * Symbol.t * Plan.instance) list;
+}
+
+type kind = Counting | DRed
+
+type unit_ = { syms : Symbol.t list; kind : kind; rules : mrule list }
+
+(* The per-transaction repair state of one updated relation: its deleted
+   tuples and the watermark separating carried-over stamps from inserted
+   ones.  old = [0, w) + dminus;  mid = [0, w);  new = [0, size). *)
+type change = { dminus : Rel.t; w : int }
+
+type t = {
+  program : Program.t;
+  db : Db.t;
+  derived : Symbol.Set.t;
+  units : unit_ list;
+  counts : int ref Tup.Tbl.t Symbol.Tbl.t;  (* counting predicates only *)
+  external_ : Rel.t Symbol.Tbl.t;
+      (* externally asserted tuples of derived predicates (e.g. magic
+         seeds): one unit of support not due to any rule *)
+}
+
+let db t = t.db
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let body_pred lit =
+  match lit with
+  | Rule.Pos a when not (Atom.is_builtin a) -> Some (Atom.symbol a)
+  | Rule.Pos _ | Rule.Neg _ -> None
+
+let compile_mrule rule =
+  let body = Array.of_list rule.Rule.body in
+  let delta_preds =
+    Array.fold_left
+      (fun acc lit ->
+        match body_pred lit with Some s -> Symbol.Set.add s acc | None -> acc)
+      Symbol.Set.empty body
+  in
+  let plan = Plan.compile ~delta_preds rule in
+  let neg_deltas =
+    List.concat
+      (List.mapi
+         (fun i lit ->
+           match lit with
+           | Rule.Neg a when not (Atom.is_builtin a) ->
+             let dneg = Atom.make ("$dneg$" ^ a.Atom.pred) a.Atom.args in
+             let body' =
+               List.mapi (fun j l -> if j = i then Rule.Pos dneg else l) rule.Rule.body
+             in
+             let rule' = Rule.make rule.Rule.head body' in
+             let plan' =
+               Plan.compile ~delta_preds:(Symbol.Set.singleton (Atom.symbol dneg)) rule'
+             in
+             (match plan'.Plan.delta with
+             | [ (j, inst) ] when j = i -> [ (i, Atom.symbol a, inst) ]
+             | _ -> assert false)
+           | Rule.Pos _ | Rule.Neg _ -> [])
+         rule.Rule.body)
+  in
+  { rule; body; plan; neg_deltas }
+
+(* ------------------------------------------------------------------ *)
+(* Stamp-range views of the transaction's three relation versions      *)
+(* ------------------------------------------------------------------ *)
+
+let full_views db sym =
+  match Db.find db sym with Some r -> [ Plan.full r ] | None -> []
+
+let changed changes sym = Symbol.Tbl.find_opt changes sym
+
+(* pre-update state: carried-over stamps plus the deleted tuples *)
+let old_views t changes sym =
+  match changed changes sym with
+  | None -> full_views t.db sym
+  | Some c ->
+    let base =
+      match Db.find t.db sym with
+      | Some r -> [ { Plan.rel = r; lo = 0; hi = c.w } ]
+      | None -> []
+    in
+    if Rel.cardinal c.dminus > 0 then Plan.full c.dminus :: base else base
+
+(* tuples in both the old and the new state *)
+let mid_views t changes sym =
+  match changed changes sym with
+  | None -> full_views t.db sym
+  | Some c -> (
+    match Db.find t.db sym with
+    | Some r -> [ { Plan.rel = r; lo = 0; hi = c.w } ]
+    | None -> [])
+
+let new_views t sym = full_views t.db sym
+
+(* membership union for a negated literal's "mid" version: a valuation
+   passes [not q] in both old and new states iff its tuple is in
+   neither, i.e. absent from old(q) ∪ new(q) = cur ∪ dminus *)
+let neg_mid_views t changes sym =
+  match changed changes sym with
+  | None -> full_views t.db sym
+  | Some c ->
+    let base = full_views t.db sym in
+    if Rel.cardinal c.dminus > 0 then Plan.full c.dminus :: base else base
+
+(* the tuples entering a relation this transaction *)
+let dplus_views t changes sym =
+  match changed changes sym with
+  | None -> []
+  | Some c -> (
+    match Db.find t.db sym with
+    | Some r when Rel.size r > c.w -> [ { Plan.rel = r; lo = c.w; hi = max_int } ]
+    | _ -> [])
+
+let dminus_views changes sym =
+  match changed changes sym with
+  | Some c when Rel.cardinal c.dminus > 0 -> [ Plan.full c.dminus ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Counting maintenance (non-recursive predicates)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerate, exactly once each, the rule-body valuations lost
+   ([`Lost]: hold in the old state but not the new) or gained
+   ([`Gained]: hold in the new state but not the old) under the
+   transaction recorded in [changes].  The discipline is the standard
+   telescoping decomposition with per-literal "mid" = old ∩ new:
+
+     lost    position i reads Δ⁻(bᵢ), j < i read mid, j > i read old
+     gained  position i reads Δ⁺(bᵢ), j < i read new, j > i read mid
+
+   where for a positive literal Δ⁻/Δ⁺ are the relation's net deleted /
+   inserted tuples, and for a negated literal [not q] they are the
+   tuples {e entering} / {e leaving} q (a valuation stops passing
+   [not q] when its tuple appears).  Every lost or gained valuation is
+   enumerated at exactly one position — its first differing literal —
+   so applying -1/+1 per enumeration maintains exact support counts. *)
+let run_counting_pass t ~stats ~changes ~pass rules ~on =
+  let source_for dpos dviews lit sym =
+    if lit = dpos then dviews
+    else
+      match pass with
+      | `Lost -> if lit < dpos then mid_views t changes sym else old_views t changes sym
+      | `Gained -> if lit < dpos then new_views t sym else mid_views t changes sym
+  in
+  let neg_source_for dpos lit sym =
+    if lit = dpos then assert false
+    else
+      match pass with
+      | `Lost ->
+        if lit < dpos then neg_mid_views t changes sym else old_views t changes sym
+      | `Gained -> if lit < dpos then new_views t sym else neg_mid_views t changes sym
+  in
+  let run_with dpos dviews inst =
+    if dviews <> [] then
+      Plan.run ~stats ~source:(source_for dpos dviews) ~neg_source:(neg_source_for dpos)
+        ~on_fact:(fun _ tuple ->
+          stats.Stats.delta_firings <- stats.Stats.delta_firings + 1;
+          on tuple)
+        inst
+  in
+  List.iter
+    (fun mr ->
+      List.iter
+        (fun (i, inst) ->
+          let sym =
+            match body_pred mr.body.(i) with Some s -> s | None -> assert false
+          in
+          let dviews =
+            match pass with
+            | `Lost -> dminus_views changes sym
+            | `Gained -> dplus_views t changes sym
+          in
+          run_with i dviews inst)
+        mr.plan.Plan.delta;
+      List.iter
+        (fun (i, q, inst) ->
+          let dviews =
+            match pass with
+            | `Lost -> dplus_views t changes q
+            | `Gained -> dminus_views changes q
+          in
+          run_with i dviews inst)
+        mr.neg_deltas)
+    rules
+
+let counts_for t p =
+  match Symbol.Tbl.find_opt t.counts p with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Tup.Tbl.create 32 in
+    Symbol.Tbl.add t.counts p tbl;
+    tbl
+
+let external_for t p =
+  match Symbol.Tbl.find_opt t.external_ p with
+  | Some r -> r
+  | None ->
+    let r = Rel.create p.Symbol.arity in
+    Symbol.Tbl.add t.external_ p r;
+    r
+
+let spend budget =
+  match budget with
+  | None -> ()
+  | Some left ->
+    decr left;
+    if !left < 0 then raise Budget_exhausted
+
+let process_counting t ~stats ~changes ~ext_ops ~budget u =
+  let p = match u.syms with [ p ] -> p | _ -> assert false in
+  let prel = Db.relation t.db p in
+  let tally = Tup.Tbl.create 16 in
+  let bump tuple d =
+    match Tup.Tbl.find_opt tally tuple with
+    | Some r -> r := !r + d
+    | None -> Tup.Tbl.add tally tuple (ref d)
+  in
+  (* external assertions carry one unit of support each *)
+  (match Symbol.Tbl.find_opt ext_ops p with
+  | Some (dels, adds) ->
+    let ext = external_for t p in
+    List.iter (fun tu -> if Rel.remove ext tu then bump tu (-1)) dels;
+    List.iter (fun tu -> if Rel.add ext tu then bump tu 1) adds
+  | None -> ());
+  run_counting_pass t ~stats ~changes ~pass:`Lost u.rules ~on:(fun tu -> bump tu (-1));
+  run_counting_pass t ~stats ~changes ~pass:`Gained u.rules ~on:(fun tu -> bump tu 1);
+  let counts = counts_for t p in
+  let dminus = Rel.create (Rel.arity prel) in
+  let enters = ref [] in
+  Tup.Tbl.iter
+    (fun tuple d ->
+      if !d <> 0 then begin
+        let c0 = match Tup.Tbl.find_opt counts tuple with Some n -> !n | None -> 0 in
+        let c1 = c0 + !d in
+        if c1 > 0 then Tup.Tbl.replace counts tuple (ref c1)
+        else Tup.Tbl.remove counts tuple;
+        if c0 > 0 && c1 <= 0 then begin
+          ignore (Rel.remove prel tuple);
+          ignore (Rel.add dminus tuple)
+        end
+        else if c0 <= 0 && c1 > 0 then enters := tuple :: !enters
+      end)
+    tally;
+  let w = Rel.size prel in
+  List.iter
+    (fun tuple ->
+      if Rel.add prel tuple then spend budget)
+    !enters;
+  if Rel.cardinal dminus > 0 || Rel.size prel > w then
+    Symbol.Tbl.replace changes p { dminus; w }
+
+(* ------------------------------------------------------------------ *)
+(* DRed maintenance (recursive units)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Does any rule for [sym] derive [tuple] in the database's current
+   state?  Used by the rederivation step; the head is matched against
+   the tuple first so the body runs with the query's bindings — the
+   bound-head check that makes rederivation a point lookup rather than
+   a scan. *)
+let derivable t sym tuple =
+  (match Symbol.Tbl.find_opt t.external_ sym with
+  | Some ext -> Rel.mem ext tuple
+  | None -> false)
+  || begin
+    let src _ s = Db.find t.db s in
+    let target = Tup.to_list tuple in
+    let check rule =
+      let head = rule.Rule.head in
+      let solve s0 =
+        try
+          Solve.solve ~source:src ~neg_source:(src 0) rule.Rule.body s0 (fun s ->
+              let args =
+                List.map (fun a -> Term.eval (Subst.apply s a)) head.Atom.args
+              in
+              if args = target then raise Exit);
+          false
+        with
+        | Exit -> true
+        | Solve.Unsafe _ -> false
+      in
+      match Subst.match_list head.Atom.args target Subst.empty with
+      | Some s0 -> solve s0
+      | None ->
+        (* head not syntactically matchable (arithmetic in the head):
+           enumerate the body and compare evaluated heads *)
+        solve Subst.empty
+    in
+    List.exists (fun (_, r) -> check r) (Program.rules_for t.program sym)
+  end
+
+let process_dred t ~stats ~changes ~ext_ops ~budget u =
+  let usyms = Symbol.Set.of_list u.syms in
+  let in_u sym = Symbol.Set.mem sym usyms in
+  let rel_of sym = Db.relation t.db sym in
+  (* ---- phase 1: overdeletion (nothing is physically removed yet, so
+     every non-delta literal reads the old state in place) ---- *)
+  let over = Symbol.Tbl.create 4 in
+  let over_tbl sym =
+    match Symbol.Tbl.find_opt over sym with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Tup.Tbl.create 16 in
+      Symbol.Tbl.add over sym tbl;
+      tbl
+  in
+  let next = Symbol.Tbl.create 4 in
+  let mark sym tuple =
+    let tbl = over_tbl sym in
+    if (not (Tup.Tbl.mem tbl tuple)) && Rel.mem (rel_of sym) tuple then begin
+      Tup.Tbl.add tbl tuple ();
+      let r =
+        match Symbol.Tbl.find_opt next sym with
+        | Some r -> r
+        | None ->
+          let r = Rel.create (Rel.arity (rel_of sym)) in
+          Symbol.Tbl.add next sym r;
+          r
+      in
+      ignore (Rel.add r tuple)
+    end
+  in
+  (* external retractions lose their unit of support; rederivation
+     restores the tuple if some rule still proves it *)
+  List.iter
+    (fun p ->
+      match Symbol.Tbl.find_opt ext_ops p with
+      | Some (dels, _) ->
+        let ext = external_for t p in
+        List.iter (fun tu -> if Rel.remove ext tu then mark p tu) dels
+      | None -> ())
+    u.syms;
+  let old_v _ sym = if in_u sym then full_views t.db sym else old_views t changes sym in
+  let overdelete_with dpos dviews inst =
+    if dviews <> [] then
+      Plan.run ~stats
+        ~source:(fun lit sym -> if lit = dpos then dviews else old_v lit sym)
+        ~neg_source:(fun _ sym -> old_views t changes sym)
+        ~on_fact:(fun sym tuple ->
+          stats.Stats.delta_firings <- stats.Stats.delta_firings + 1;
+          mark sym tuple)
+        inst
+  in
+  (* seed round: deltas of already-repaired lower units *)
+  List.iter
+    (fun mr ->
+      List.iter
+        (fun (i, inst) ->
+          let sym =
+            match body_pred mr.body.(i) with Some s -> s | None -> assert false
+          in
+          if not (in_u sym) then overdelete_with i (dminus_views changes sym) inst)
+        mr.plan.Plan.delta;
+      List.iter
+        (fun (i, q, inst) -> overdelete_with i (dplus_views t changes q) inst)
+        mr.neg_deltas)
+    u.rules;
+  (* propagate through the unit's own predicates to fixpoint *)
+  let continue = ref (Symbol.Tbl.length next > 0) in
+  while !continue do
+    let deltas = Symbol.Tbl.copy next in
+    Symbol.Tbl.reset next;
+    List.iter
+      (fun mr ->
+        List.iter
+          (fun (i, inst) ->
+            let sym =
+              match body_pred mr.body.(i) with Some s -> s | None -> assert false
+            in
+            if in_u sym then
+              match Symbol.Tbl.find_opt deltas sym with
+              | Some drel when Rel.cardinal drel > 0 ->
+                overdelete_with i [ Plan.full drel ] inst
+              | _ -> ())
+          mr.plan.Plan.delta)
+      u.rules;
+    continue := Symbol.Tbl.length next > 0
+  done;
+  Symbol.Tbl.iter
+    (fun _ tbl -> stats.Stats.overdeleted <- stats.Stats.overdeleted + Tup.Tbl.length tbl)
+    over;
+  (* ---- phase 2: apply the overdeletions ---- *)
+  Symbol.Tbl.iter
+    (fun sym tbl ->
+      let rel = rel_of sym in
+      Tup.Tbl.iter (fun tu () -> ignore (Rel.remove rel tu)) tbl)
+    over;
+  (* ---- phase 3: rederivation worklist — a tuple comes back iff it is
+     externally supported or some rule proves it from what remains;
+     each restoration can enable further ones ---- *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Symbol.Tbl.iter
+      (fun sym tbl ->
+        let rel = rel_of sym in
+        Tup.Tbl.iter
+          (fun tu () ->
+            if (not (Rel.mem rel tu)) && derivable t sym tu then begin
+              ignore (Rel.add rel tu);
+              stats.Stats.rederived <- stats.Stats.rederived + 1;
+              progress := true
+            end)
+          tbl)
+      over
+  done;
+  (* external assertions of tuples that were just overdeleted restore
+     them in place (they are present in both old and new states, so
+     they must land below the watermark, not in the inserted delta) *)
+  List.iter
+    (fun p ->
+      match Symbol.Tbl.find_opt ext_ops p with
+      | Some (_, adds) ->
+        let ext = external_for t p in
+        let tbl = over_tbl p in
+        List.iter
+          (fun tu ->
+            if Tup.Tbl.mem tbl tu then begin
+              ignore (Rel.add ext tu);
+              ignore (Rel.add (rel_of p) tu)
+            end)
+          adds
+      | None -> ())
+    u.syms;
+  (* ---- phase 4: watermarks, net deletions, external insertions ---- *)
+  let marks =
+    List.map
+      (fun p ->
+        let rel = rel_of p in
+        let w = Rel.size rel in
+        let dminus = Rel.create (Rel.arity rel) in
+        let tbl = over_tbl p in
+        Tup.Tbl.iter (fun tu () -> if not (Rel.mem rel tu) then ignore (Rel.add dminus tu)) tbl;
+        (p, rel, w, dminus, ref w, ref w))
+      u.syms
+  in
+  List.iter
+    (fun p ->
+      match Symbol.Tbl.find_opt ext_ops p with
+      | Some (_, adds) ->
+        let ext = external_for t p in
+        let rel = rel_of p in
+        List.iter
+          (fun tu ->
+            ignore (Rel.add ext tu);
+            if Rel.add rel tu then spend budget)
+          adds
+      | None -> ())
+    u.syms;
+  List.iter
+    (fun (p, _, w, dminus, _, _) -> Symbol.Tbl.replace changes p { dminus; w })
+    marks;
+  (* ---- phase 5: semi-naive insertion fixpoint ---- *)
+  let mark_of sym = List.find_opt (fun (s, _, _, _, _, _) -> Symbol.equal s sym) marks in
+  let record sym tuple =
+    stats.Stats.delta_firings <- stats.Stats.delta_firings + 1;
+    if Rel.add (rel_of sym) tuple then spend budget
+  in
+  let rotate () =
+    List.iter (fun (_, rel, _, _, o, d) -> o := !d; d := Rel.size rel) marks
+  in
+  (* seed round: insertion deltas of lower units, with the unit's own
+     predicates read up to the watermark; external insertions and seed
+     derivations both land beyond it and form the first delta window *)
+  let seed_with dpos dviews inst =
+    if dviews <> [] then
+      Plan.run ~stats
+        ~source:(fun lit sym ->
+          if lit = dpos then dviews
+          else
+            match mark_of sym with
+            | Some (_, rel, _, _, _, d) -> [ { Plan.rel; lo = 0; hi = !d } ]
+            | None ->
+              if lit < dpos then new_views t sym else mid_views t changes sym)
+        ~neg_source:(fun lit sym ->
+          if lit < dpos then new_views t sym else neg_mid_views t changes sym)
+        ~on_fact:record inst
+  in
+  List.iter
+    (fun mr ->
+      List.iter
+        (fun (i, inst) ->
+          let sym =
+            match body_pred mr.body.(i) with Some s -> s | None -> assert false
+          in
+          if not (in_u sym) then seed_with i (dplus_views t changes sym) inst)
+        mr.plan.Plan.delta;
+      List.iter
+        (fun (i, q, inst) -> seed_with i (dminus_views changes q) inst)
+        mr.neg_deltas)
+    u.rules;
+  rotate ();
+  let has_delta () = List.exists (fun (_, _, _, _, o, d) -> !o <> !d) marks in
+  while has_delta () do
+    List.iter
+      (fun mr ->
+        List.iter
+          (fun (dpos, inst) ->
+            let sym =
+              match body_pred mr.body.(dpos) with Some s -> s | None -> assert false
+            in
+            match mark_of sym with
+            | None -> ()
+            | Some (_, rel, _, _, o, d) ->
+              if !o <> !d then
+                Plan.run ~stats
+                  ~source:(fun lit s ->
+                    match mark_of s with
+                    | Some (_, rel', _, _, o', d') ->
+                      if lit = dpos then [ { Plan.rel; lo = !o; hi = !d } ]
+                      else if lit < dpos then [ { Plan.rel = rel'; lo = 0; hi = !o' } ]
+                      else [ { Plan.rel = rel'; lo = 0; hi = !d' } ]
+                    | None -> new_views t s)
+                  ~neg_source:(fun _ s -> new_views t s)
+                  ~on_fact:record inst)
+          mr.plan.Plan.delta)
+      u.rules;
+    rotate ()
+  done;
+  (* drop entries that turned out to be no-ops *)
+  List.iter
+    (fun (p, rel, w, dminus, _, _) ->
+      if Rel.cardinal dminus = 0 && Rel.size rel = w then Symbol.Tbl.remove changes p)
+    marks
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tuple_of_atom a =
+  if not (Atom.is_ground a) then
+    invalid_arg (Fmt.str "Incr.Maintain: non-ground update %a" Atom.pp a);
+  (Atom.symbol a, Array.of_list (List.map Term.eval a.Atom.args))
+
+(* Net effect of an ordered op list per predicate: a tuple is deleted if
+   it was present before the transaction and absent after, inserted if
+   the reverse; delete-then-reinsert (and vice versa) cancels out, so
+   delta relations and stamp ranges never carry spurious churn. *)
+let net_ops mem0 ops =
+  let state = Tup.Tbl.create 8 in
+  List.iter
+    (fun (ins, tu) -> Tup.Tbl.replace state tu ins)
+    ops;
+  Tup.Tbl.fold
+    (fun tu desired (dels, adds) ->
+      let was = mem0 tu in
+      if was && not desired then (tu :: dels, adds)
+      else if (not was) && desired then (dels, tu :: adds)
+      else (dels, adds))
+    state ([], [])
+
+let apply ?max_facts t ops =
+  let stats = Stats.create () in
+  let budget = Option.map ref max_facts in
+  let changes = Symbol.Tbl.create 8 in
+  let ext_ops = Symbol.Tbl.create 4 in
+  (* group per predicate, preserving op order *)
+  let order = ref [] in
+  let per = Symbol.Tbl.create 8 in
+  List.iter
+    (fun op ->
+      let ins, a = match op with Insert a -> (true, a) | Delete a -> (false, a) in
+      let sym, tuple = tuple_of_atom a in
+      (match Symbol.Tbl.find_opt per sym with
+      | Some cell -> cell := (ins, tuple) :: !cell
+      | None ->
+        Symbol.Tbl.add per sym (ref [ (ins, tuple) ]);
+        order := sym :: !order))
+    ops;
+  List.iter
+    (fun sym ->
+      let ops = List.rev !(Symbol.Tbl.find per sym) in
+      if Symbol.Set.mem sym t.derived then begin
+        (* updates to derived predicates assert/retract external support;
+           they take effect when the predicate's unit is repaired *)
+        let ext = external_for t sym in
+        let dels, adds = net_ops (Rel.mem ext) ops in
+        Symbol.Tbl.replace ext_ops sym (dels, adds)
+      end
+      else begin
+        let rel = Db.relation t.db sym in
+        let dels, adds = net_ops (Rel.mem rel) ops in
+        let dminus = Rel.create (Rel.arity rel) in
+        List.iter
+          (fun tu ->
+            ignore (Rel.remove rel tu);
+            ignore (Rel.add dminus tu))
+          dels;
+        let w = Rel.size rel in
+        List.iter (fun tu -> ignore (Rel.add rel tu)) adds;
+        if Rel.cardinal dminus > 0 || Rel.size rel > w then
+          Symbol.Tbl.replace changes sym { dminus; w }
+      end)
+    (List.rev !order);
+  List.iter
+    (fun u ->
+      match u.kind with
+      | Counting -> process_counting t ~stats ~changes ~ext_ops ~budget u
+      | DRed -> process_dred t ~stats ~changes ~ext_ops ~budget u)
+    t.units;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?max_facts program ~edb =
+  (match Program.stratify program with
+  | Error e -> invalid_arg ("Incr.Maintain.create: " ^ e)
+  | Ok _ -> ());
+  let out = Engine.Eval.seminaive ?max_facts program ~edb in
+  if out.Engine.Eval.diverged then raise Budget_exhausted;
+  let db = out.Engine.Eval.db in
+  let derived = Program.derived program in
+  let rules = Program.rules program in
+  let units =
+    List.map
+      (fun syms ->
+        let symset = Symbol.Set.of_list syms in
+        let own =
+          List.filter (fun r -> Symbol.Set.mem (Atom.symbol r.Rule.head) symset) rules
+        in
+        let kind =
+          match syms with
+          | [ s ] when not (Program.is_recursive program s) -> Counting
+          | _ -> DRed
+        in
+        { syms; kind; rules = List.map compile_mrule own })
+      (Program.sccs program)
+  in
+  let external_ = Symbol.Tbl.create 8 in
+  Symbol.Set.iter
+    (fun sym ->
+      match Db.find edb sym with
+      | Some r when Rel.cardinal r > 0 -> Symbol.Tbl.add external_ sym (Rel.copy r)
+      | _ -> ())
+    derived;
+  let t = { program; db; derived; units; counts = Symbol.Tbl.create 8; external_ } in
+  (* initial support counts for the counting predicates: one per
+     rule-body valuation in the fixpoint, plus one per external fact *)
+  List.iter
+    (fun u ->
+      match (u.kind, u.syms) with
+      | Counting, [ p ] ->
+        let tbl = counts_for t p in
+        let bump tu =
+          match Tup.Tbl.find_opt tbl tu with
+          | Some n -> incr n
+          | None -> Tup.Tbl.add tbl tu (ref 1)
+        in
+        (match Symbol.Tbl.find_opt external_ p with
+        | Some ext -> Rel.iter bump ext
+        | None -> ());
+        List.iter
+          (fun mr ->
+            Plan.run ~source:(Plan.db_source db) ~neg_source:(Plan.db_source db)
+              ~on_fact:(fun _ tu -> bump tu)
+              mr.plan.Plan.base)
+          u.rules
+      | _ -> ())
+    units;
+  t
+
+let answers t query =
+  Engine.Eval.answers
+    { Engine.Eval.db = t.db; stats = Stats.create (); diverged = false }
+    query
+
+let support_count t sym tuple =
+  match Symbol.Tbl.find_opt t.counts sym with
+  | None -> None
+  | Some tbl -> (
+    match Tup.Tbl.find_opt tbl tuple with Some n -> Some !n | None -> Some 0)
+
+let kind_of t sym =
+  List.find_map
+    (fun u ->
+      if List.exists (Symbol.equal sym) u.syms then
+        Some (match u.kind with Counting -> `Counting | DRed -> `DRed)
+      else None)
+    t.units

@@ -1,0 +1,63 @@
+(** Incremental view maintenance: keep every derived relation of a
+    program's fixpoint up to date under transactions of fact insertions
+    and deletions, without recomputing from scratch.
+
+    Each dependency unit (strongly connected component of the predicate
+    dependency graph, repaired callees-first — a refinement of the
+    stratification, so negation is always over fully-repaired
+    predicates) is maintained by:
+
+    - {e counting}, for non-recursive predicates: exact per-tuple
+      support counts (number of rule-body valuations deriving the
+      tuple, plus one if externally asserted), maintained by a two-pass
+      delta-rule discipline that enumerates every lost and gained
+      valuation exactly once;
+    - {e DRed} (delete-and-rederive), for recursive units:
+      overdeletion, rederivation of tuples with surviving alternative
+      proofs, then a semi-naive insertion fixpoint.
+
+    All three relation versions a delta rule needs ("old", "mid",
+    "new") are expressed as unions of stamp-range views over the single
+    stored relation plus the transaction's deleted-tuple relations —
+    see {!Engine.Relation} for the deletion discipline. *)
+
+open Datalog
+
+type t
+
+type op = Insert of Atom.t | Delete of Atom.t
+
+exception Budget_exhausted
+(** Raised when [max_facts] is exceeded (the materialization, or the
+    insertions of one transaction).  After a mid-transaction abort the
+    state is unspecified; rebuild with {!create}. *)
+
+val create : ?max_facts:int -> Program.t -> edb:Engine.Database.t -> t
+(** Materialize the program's fixpoint over a copy of [edb] (the input
+    database is not modified).  Tuples of derived predicates already
+    present in [edb] — e.g. magic seed facts — are recorded as
+    {e externally asserted}: they carry one unit of support that no rule
+    accounts for, and persist until retracted.
+    @raise Invalid_argument if the program is not stratifiable. *)
+
+val apply : ?max_facts:int -> t -> op list -> Engine.Stats.t
+(** Apply one transaction: all ops take effect atomically (a tuple
+    deleted and re-inserted in the same transaction does not churn),
+    then every derived relation is repaired.  Ops on base predicates
+    update the EDB; ops on derived predicates assert or retract
+    external support.  Returns the transaction's maintenance statistics
+    ([overdeleted], [rederived], [delta_firings], [probes]).
+    @raise Invalid_argument on a non-ground atom. *)
+
+val db : t -> Engine.Database.t
+(** The maintained database (EDB and all derived relations).  Treat as
+    read-only: external mutation invalidates the maintained state. *)
+
+val answers : t -> Atom.t -> Engine.Tuple.t list
+(** The current tuples matching a query atom, sorted. *)
+
+val support_count : t -> Symbol.t -> Engine.Tuple.t -> int option
+(** [Some n] for a counting-maintained predicate ([n = 0] if absent);
+    [None] for recursive (DRed) predicates, which carry no counts. *)
+
+val kind_of : t -> Symbol.t -> [ `Counting | `DRed ] option

@@ -1,0 +1,46 @@
+open Datalog
+
+type item = Assert of Atom.t | Retract of Atom.t | Query of Atom.t
+
+exception Error of string
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '%' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else begin
+    let err fmt = Fmt.kstr (fun m -> raise (Error (Fmt.str "line %d: %s" lineno m))) fmt in
+    let n = String.length line in
+    if n < 2 then err "expected '+fact.', '-fact.' or '? query.'";
+    if line.[n - 1] <> '.' then err "missing final '.'";
+    let body = String.trim (String.sub line 1 (n - 2)) in
+    let atom () =
+      match Parser.parse_atom body with
+      | a -> a
+      | exception Parser.Error m -> err "%s" m
+    in
+    let ground_atom () =
+      let a = atom () in
+      if not (Atom.is_ground a) then err "update %a is not ground" Atom.pp a;
+      a
+    in
+    match line.[0] with
+    | '+' -> Some (Assert (ground_atom ()))
+    | '-' -> Some (Retract (ground_atom ()))
+    | '?' -> Some (Query (atom ()))
+    | c -> err "expected '+', '-' or '?', got %c" c
+  end
+
+let parse src =
+  let items = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_line (i + 1) line with
+      | Some item -> items := item :: !items
+      | None -> ())
+    (String.split_on_char '\n' src);
+  List.rev !items

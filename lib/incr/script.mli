@@ -1,0 +1,21 @@
+(** Update scripts for {!Session}: one item per line.
+
+    {v
+      + parent(tom, amy).     assert a ground fact
+      - parent(tom, amy).     retract a ground fact
+      ? ancestor(tom, X).     run a query against the maintained state
+    v}
+
+    Blank lines and [%]-comments are ignored.  Consecutive [+]/[-]
+    items are conventionally batched into one transaction by the
+    consumer (the CLI applies everything up to the next query as a
+    single transaction). *)
+
+open Datalog
+
+type item = Assert of Atom.t | Retract of Atom.t | Query of Atom.t
+
+exception Error of string
+(** Parse error, with the 1-based line number. *)
+
+val parse : string -> item list

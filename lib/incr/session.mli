@@ -1,0 +1,57 @@
+(** Persistent query sessions: one program, one strategy, a maintained
+    database, and interleaved updates and queries.
+
+    With [Original] the whole fixpoint is materialized and maintained.
+    With [GMS]/[GSMS] the session materializes the rewritten program of
+    the initial query (seed facts recorded as external support); EDB
+    updates repair the magic and supplementary relations incrementally,
+    and a later query whose adornment yields the {e same} rewritten
+    program is served by inserting its seeds as a transaction — the
+    magic cone grows by exactly the newly relevant part.  The counting
+    strategies are excluded: their index arguments make relations
+    query-instance-specific, so there is nothing stable to maintain. *)
+
+open Datalog
+module C = Magic_core
+
+type strategy = Original | GMS | GSMS
+
+type t
+
+exception Incompatible_query of string
+(** A new query's rewritten program differs from the session's (its
+    binding pattern adorns differently); a new session is needed. *)
+
+val strategy_of_string : string -> strategy option
+val strategy_to_string : strategy -> string
+
+val create :
+  ?strategy:strategy ->
+  ?options:C.Rewrite.options ->
+  ?max_facts:int ->
+  Program.t ->
+  Atom.t ->
+  edb:Engine.Database.t ->
+  t
+(** Materialize the program (rewritten for the given query under a
+    magic strategy) over a copy of [edb].  Default strategy is
+    [Original]. *)
+
+val update : ?max_facts:int -> t -> Maintain.op list -> Engine.Stats.t
+(** Apply one transaction of EDB insertions/deletions and repair all
+    derived (including magic and supplementary) relations. *)
+
+val query : ?max_facts:int -> t -> Atom.t -> Engine.Tuple.t list * Engine.Stats.t
+(** Make the atom the session's current query and return its answers
+    with the maintenance statistics incurred (seed installation under a
+    magic strategy; zero-cost under [Original]).
+    @raise Incompatible_query under a magic strategy when the query
+    adorns to a different rewritten program. *)
+
+val answers : t -> Engine.Tuple.t list
+(** Answers of the current query against the maintained state; under a
+    magic strategy, projected through the rewriting exactly as
+    {!C.Rewritten.answers} does. *)
+
+val db : t -> Engine.Database.t
+val current_query : t -> Atom.t

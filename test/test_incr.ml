@@ -1,0 +1,282 @@
+(* Incremental maintenance: counting and DRed repairs must leave the
+   database extensionally equal to a from-scratch evaluation of the
+   updated EDB, for original programs and for magic-rewritten sessions. *)
+
+open Datalog
+open Helpers
+module C = Magic_core
+module M = Incr.Maintain
+module S = Incr.Session
+
+let sorted = List.sort Engine.Tuple.compare
+let tup l = Array.of_list (List.map term l)
+
+let wildcard pred arity =
+  Atom.make pred (List.init arity (fun i -> Term.Var (Fmt.str "A%d" i)))
+
+let scratch_pred program facts pred arity =
+  let out = Engine.Eval.seminaive program ~edb:(Engine.Database.of_facts facts) in
+  sorted (Engine.Eval.answers out (wildcard pred arity))
+
+(* ------------------------------------------------------------------ *)
+(* counting: non-recursive strata                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_counting_supports () =
+  let p = program "r(X) :- e(X, Y)." in
+  let edb =
+    Engine.Database.of_facts [ atom "e(a, b)"; atom "e(a, c)"; atom "e(d, b)" ]
+  in
+  let m = M.create p ~edb in
+  Alcotest.(check bool)
+    "non-recursive predicate uses counting" true
+    (M.kind_of m (Symbol.make "r" 1) = Some `Counting);
+  Alcotest.(check (option int))
+    "two valuations support r(a)" (Some 2)
+    (M.support_count m (Symbol.make "r" 1) (tup [ "a" ]));
+  ignore (M.apply m [ M.Delete (atom "e(a, b)") ]);
+  Alcotest.(check bool)
+    "one support left, tuple stays" true
+    (Engine.Database.mem (M.db m) (atom "r(a)"));
+  ignore (M.apply m [ M.Delete (atom "e(a, c)") ]);
+  Alcotest.(check bool)
+    "last support gone, tuple deleted" false
+    (Engine.Database.mem (M.db m) (atom "r(a)"));
+  Alcotest.(check bool)
+    "unrelated tuple untouched" true
+    (Engine.Database.mem (M.db m) (atom "r(d)"))
+
+let test_counting_external_support () =
+  let p = program "r(X) :- e(X, X)." in
+  let m = M.create p ~edb:(Engine.Database.create ()) in
+  (* asserting a derived-predicate fact gives it rule-independent support *)
+  ignore (M.apply m [ M.Insert (atom "r(z)") ]);
+  Alcotest.(check bool) "asserted" true (Engine.Database.mem (M.db m) (atom "r(z)"));
+  ignore (M.apply m [ M.Insert (atom "e(z, z)") ]);
+  ignore (M.apply m [ M.Delete (atom "e(z, z)") ]);
+  Alcotest.(check bool)
+    "survives losing its rule support" true
+    (Engine.Database.mem (M.db m) (atom "r(z)"));
+  ignore (M.apply m [ M.Delete (atom "r(z)") ]);
+  Alcotest.(check bool)
+    "retracting the assertion deletes it" false
+    (Engine.Database.mem (M.db m) (atom "r(z)"))
+
+(* ------------------------------------------------------------------ *)
+(* DRed: recursive strata                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tc = program "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y)."
+
+let test_dred_rederives () =
+  let facts = [ atom "e(a, b)"; atom "e(b, c)"; atom "e(a, c)" ] in
+  let m = M.create tc ~edb:(Engine.Database.of_facts facts) in
+  Alcotest.(check bool)
+    "recursive predicate uses DRed" true
+    (M.kind_of m (Symbol.make "tc" 2) = Some `DRed);
+  (* deleting e(b,c) overdeletes tc(b,c) and tc(a,c); the latter has the
+     alternative proof through e(a,c) and must be rederived *)
+  let stats = M.apply m [ M.Delete (atom "e(b, c)") ] in
+  Alcotest.(check bool) "overdeleted >= 2" true (stats.Engine.Stats.overdeleted >= 2);
+  Alcotest.(check bool) "rederived >= 1" true (stats.Engine.Stats.rederived >= 1);
+  let facts' = [ atom "e(a, b)"; atom "e(a, c)" ] in
+  Alcotest.(check tuple_list)
+    "equal to scratch" (scratch_pred tc facts' "tc" 2)
+    (M.answers m (wildcard "tc" 2))
+
+let test_dred_cycle () =
+  (* a cycle: every tc tuple transitively supports itself; deleting the
+     only entering edge must delete the whole closure, not leave a
+     self-supporting island (the reason overdeletion precedes
+     rederivation) *)
+  let facts = [ atom "e(s, a)"; atom "e(a, b)"; atom "e(b, a)" ] in
+  let m = M.create tc ~edb:(Engine.Database.of_facts facts) in
+  ignore (M.apply m [ M.Delete (atom "e(a, b)") ]);
+  Alcotest.(check tuple_list)
+    "cycle broken" (scratch_pred tc [ atom "e(s, a)"; atom "e(b, a)" ] "tc" 2)
+    (M.answers m (wildcard "tc" 2));
+  ignore (M.apply m [ M.Insert (atom "e(a, b)") ]);
+  Alcotest.(check tuple_list)
+    "cycle restored" (scratch_pred tc facts "tc" 2)
+    (M.answers m (wildcard "tc" 2))
+
+(* ------------------------------------------------------------------ *)
+(* stratified negation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_negation_unit_order () =
+  let p =
+    program
+      "reach(X) :- src(X). reach(Y) :- reach(X), e(X, Y). unreach(X) :- node(X), \
+       not reach(X)."
+  in
+  let facts =
+    [
+      atom "node(a)"; atom "node(b)"; atom "node(c)"; atom "node(d)";
+      atom "src(a)"; atom "e(a, b)"; atom "e(b, c)";
+    ]
+  in
+  let m = M.create p ~edb:(Engine.Database.of_facts facts) in
+  let check_all facts =
+    List.iter
+      (fun (pred, arity) ->
+        Alcotest.(check tuple_list)
+          (pred ^ " equals scratch")
+          (scratch_pred p facts pred arity)
+          (M.answers m (wildcard pred arity)))
+      [ ("reach", 1); ("unreach", 1) ]
+  in
+  check_all facts;
+  (* losing e(b,c) makes c unreachable: a deletion in a lower unit feeds
+     an insertion through the negation *)
+  ignore (M.apply m [ M.Delete (atom "e(b, c)") ]);
+  let facts = List.filter (fun a -> a <> atom "e(b, c)") facts in
+  check_all facts;
+  (* and an insertion feeds a deletion through the negation *)
+  ignore (M.apply m [ M.Insert (atom "e(a, d)") ]);
+  check_all (atom "e(a, d)" :: facts)
+
+(* ------------------------------------------------------------------ *)
+(* sessions: dynamic magic sets                                        *)
+(* ------------------------------------------------------------------ *)
+
+let path = program "path(X, Y) :- e(X, Y). path(X, Y) :- e(X, Z), path(Z, Y)."
+
+let test_session_dynamic_magic () =
+  let facts = [ atom "e(a, b)"; atom "e(b, c)"; atom "e(d, f)" ] in
+  let edb = Engine.Database.of_facts facts in
+  let scratch q facts =
+    sorted_answers (run_method "gms" path q (Engine.Database.of_facts facts))
+  in
+  let q1 = atom "path(a, Ans)" in
+  let s = S.create ~strategy:S.GMS path q1 ~edb in
+  Alcotest.(check tuple_list) "initial query" (scratch q1 facts) (sorted (S.answers s));
+  (* same binding pattern: only new seeds are installed, the cone grows *)
+  let q2 = atom "path(d, Ans)" in
+  let ans2, _ = S.query s q2 in
+  Alcotest.(check tuple_list) "second query" (scratch q2 facts) (sorted ans2);
+  (* updates repair under the union of all installed seeds *)
+  ignore (S.update s [ M.Insert (atom "e(c, d)") ]);
+  let facts = atom "e(c, d)" :: facts in
+  let ans1, _ = S.query s q1 in
+  Alcotest.(check tuple_list) "first query after update" (scratch q1 facts) (sorted ans1);
+  let ans2, _ = S.query s q2 in
+  Alcotest.(check tuple_list) "second query after update" (scratch q2 facts) (sorted ans2);
+  (* a different binding pattern adorns differently and is refused *)
+  Alcotest.(check bool)
+    "incompatible query raises" true
+    (try
+       ignore (S.query s (atom "path(Ans, c)"));
+       false
+     with S.Incompatible_query _ -> true)
+
+let test_session_original () =
+  let facts = [ atom "e(a, b)"; atom "e(b, c)" ] in
+  let s = S.create path (atom "path(a, Ans)") ~edb:(Engine.Database.of_facts facts) in
+  ignore (S.update s [ M.Delete (atom "e(b, c)"); M.Insert (atom "e(a, c)") ]);
+  Alcotest.(check tuple_list)
+    "original strategy repairs the full fixpoint"
+    (scratch_pred path [ atom "e(a, b)"; atom "e(a, c)" ] "path" 2)
+    (sorted (S.answers s));
+  (* any binding pattern is fine without a rewriting *)
+  let ans, _ = S.query s (atom "path(Ans, c)") in
+  Alcotest.(check tuple_list)
+    "rebound query" (scratch_pred path [ atom "e(a, b)"; atom "e(a, c)" ] "path" 2
+                     |> List.filter (fun t -> Term.equal t.(1) (Term.Sym "c")))
+    (sorted ans)
+
+(* ------------------------------------------------------------------ *)
+(* the acceptance property: maintained state = scratch evaluation      *)
+(* ------------------------------------------------------------------ *)
+
+(* random ground ops over the generators' predicate universe; derived
+   (i0) ops exercise external support *)
+let gen_op =
+  let open QCheck2.Gen in
+  let* pred = oneofl [ "e0"; "e0"; "e1"; "e2"; "i0" ] in
+  let* a = int_bound 6 in
+  let* b = int_bound 6 in
+  let at =
+    Atom.make pred [ Term.Sym (Fmt.str "n%d" a); Term.Sym (Fmt.str "n%d" b) ]
+  in
+  map (fun del -> if del then M.Delete at else M.Insert at) bool
+
+let gen_base_op =
+  let open QCheck2.Gen in
+  let* pred = oneofl [ "e0"; "e0"; "e1"; "e2" ] in
+  let* a = int_bound 6 in
+  let* b = int_bound 6 in
+  let at =
+    Atom.make pred [ Term.Sym (Fmt.str "n%d" a); Term.Sym (Fmt.str "n%d" b) ]
+  in
+  map (fun del -> if del then M.Delete at else M.Insert at) bool
+
+let gen_txns op = QCheck2.Gen.(list_size (int_range 1 3) (list_size (int_range 1 4) op))
+
+(* the scratch EDB after a transaction: ops applied in order, set
+   semantics — exactly the net-effect contract of Maintain.apply *)
+let apply_shadow shadow ops =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | M.Insert a -> if List.mem a acc then acc else a :: acc
+      | M.Delete a -> List.filter (fun b -> b <> a) acc)
+    shadow ops
+
+let prop_maintained_equals_scratch =
+  qtest ~count:70 "maintained = scratch (original program, negation)"
+    QCheck2.Gen.(triple gen_random_case (gen_txns gen_op) bool)
+    (fun ((src, edb_facts), txns, with_neg) ->
+      let src =
+        if with_neg then src ^ "\nu0(X, Y) :- e2(X, Y), not i0(X, Y)." else src
+      in
+      let p = program src in
+      let m = M.create p ~edb:(Engine.Database.of_facts edb_facts) in
+      let shadow = ref (List.sort_uniq compare edb_facts) in
+      let preds =
+        [ ("i0", 2); ("i1", 2) ] @ if with_neg then [ ("u0", 2) ] else []
+      in
+      List.for_all
+        (fun ops ->
+          ignore (M.apply m ops);
+          shadow := apply_shadow !shadow ops;
+          List.for_all
+            (fun (pred, arity) ->
+              M.answers m (wildcard pred arity)
+              = scratch_pred p !shadow pred arity)
+            preds)
+        txns)
+
+let prop_session_equals_scratch =
+  qtest ~count:50 "maintained = scratch (gms/gsms sessions)"
+    QCheck2.Gen.(triple gen_random_case (gen_txns gen_base_op) bool)
+    (fun ((src, edb_facts), txns, use_gsms) ->
+      let strategy = if use_gsms then S.GSMS else S.GMS in
+      let meth = if use_gsms then "gsms" else "gms" in
+      let p = program src in
+      let q = Atom.make "i0" [ Term.Sym "n0"; Term.Var "Ans" ] in
+      let s =
+        S.create ~strategy p q ~edb:(Engine.Database.of_facts edb_facts)
+      in
+      let shadow = ref (List.sort_uniq compare edb_facts) in
+      List.for_all
+        (fun ops ->
+          ignore (S.update s ops);
+          shadow := apply_shadow !shadow ops;
+          sorted (S.answers s)
+          = sorted_answers
+              (run_method meth p q (Engine.Database.of_facts !shadow)))
+        txns)
+
+let suite =
+  [
+    Alcotest.test_case "counting supports" `Quick test_counting_supports;
+    Alcotest.test_case "counting external support" `Quick test_counting_external_support;
+    Alcotest.test_case "dred rederives" `Quick test_dred_rederives;
+    Alcotest.test_case "dred cycle" `Quick test_dred_cycle;
+    Alcotest.test_case "stratified negation" `Quick test_negation_unit_order;
+    Alcotest.test_case "session dynamic magic" `Quick test_session_dynamic_magic;
+    Alcotest.test_case "session original" `Quick test_session_original;
+    prop_maintained_equals_scratch;
+    prop_session_equals_scratch;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("program", Test_program.suite);
       ("relation", Test_relation.suite);
       ("stats", Test_stats.suite);
+      ("solve", Test_solve.suite);
       ("plan", Test_plan.suite);
       ("eval", Test_eval.suite);
       ("topdown", Test_topdown.suite);
@@ -28,4 +29,5 @@ let () =
       ("viz", Test_viz.suite);
       ("random-programs", Test_random_programs.suite);
       ("analysis", Test_analysis.suite);
+      ("incr", Test_incr.suite);
     ]

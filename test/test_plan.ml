@@ -80,7 +80,7 @@ let test_dynamic_head_unsafe () =
   Alcotest.(check bool) "running it raises Unsafe" true
     (try
        E.Plan.run ~source:(E.Plan.db_source db)
-         ~neg_source:(fun s -> E.Database.find db s)
+         ~neg_source:(E.Plan.db_source db)
          ~on_fact:(fun _ _ -> ())
          plan.E.Plan.base;
        false
@@ -115,7 +115,7 @@ let test_base_execution () =
   let facts = ref [] in
   E.Plan.run
     ~source:(E.Plan.db_source db)
-    ~neg_source:(fun s -> E.Database.find db s)
+    ~neg_source:(E.Plan.db_source db)
     ~on_fact:(fun s t -> facts := (s, E.Tuple.to_list t) :: !facts)
     plan.E.Plan.base;
   Alcotest.(check bool) "base instance solves left-to-right" true
@@ -133,11 +133,11 @@ let test_range_views () =
   let inst = List.assoc 1 plan.E.Plan.delta in
   let facts = ref [] in
   let source lit s =
-    if lit = 1 then Some { E.Plan.rel = trel; lo = d; hi = E.Relation.size trel }
-    else Option.map E.Plan.full (E.Database.find db s)
+    if lit = 1 then [ { E.Plan.rel = trel; lo = d; hi = E.Relation.size trel } ]
+    else E.Plan.db_source db lit s
   in
   E.Plan.run ~source
-    ~neg_source:(fun s -> E.Database.find db s)
+    ~neg_source:(E.Plan.db_source db)
     ~on_fact:(fun _ t -> facts := E.Tuple.to_list t :: !facts)
     inst;
   (* only t(n3, n5) is in the delta range, so only a(n2, n5) is derived;
@@ -152,7 +152,7 @@ let test_missing_relation_not_probed () =
   let s = E.Stats.create () in
   E.Plan.run ~stats:s
     ~source:(E.Plan.db_source db)
-    ~neg_source:(fun x -> E.Database.find db x)
+    ~neg_source:(E.Plan.db_source db)
     ~on_fact:(fun _ _ -> ())
     plan.E.Plan.base;
   Alcotest.(check int) "only b is probed" 1 s.E.Stats.probes

@@ -70,6 +70,52 @@ let prop_lookup_is_filter =
       in
       List.equal Engine.Tuple.equal by_index by_scan)
 
+let test_remove () =
+  let r = Engine.Relation.create 2 in
+  ignore (Engine.Relation.add r (tup [ "a"; "b" ]));
+  ignore (Engine.Relation.add r (tup [ "a"; "c" ]));
+  Alcotest.(check bool) "removed" true (Engine.Relation.remove r (tup [ "a"; "b" ]));
+  Alcotest.(check bool) "absent now" false (Engine.Relation.mem r (tup [ "a"; "b" ]));
+  Alcotest.(check bool) "remove absent" false (Engine.Relation.remove r (tup [ "a"; "b" ]));
+  Alcotest.(check int) "cardinal excludes removed" 1 (Engine.Relation.cardinal r);
+  Alcotest.(check int)
+    "iteration skips removed" 1
+    (List.length (Engine.Relation.to_list r));
+  Alcotest.(check int)
+    "index skips removed" 0
+    (List.length
+       (Engine.Relation.lookup r ~pattern:[| true; true |] ~key:(tup [ "a"; "b" ])))
+
+let test_remove_readd_stamps () =
+  (* a removed tuple's stamp is retired: re-insertion gets a fresh stamp,
+     so a delta window [w, size) sees the re-added tuple *)
+  let r = Engine.Relation.create 2 in
+  ignore (Engine.Relation.add r (tup [ "a"; "b" ]));
+  ignore (Engine.Relation.add r (tup [ "c"; "d" ]));
+  ignore (Engine.Relation.remove r (tup [ "a"; "b" ]));
+  let w = Engine.Relation.size r in
+  Alcotest.(check bool) "re-added as new" true (Engine.Relation.add r (tup [ "a"; "b" ]));
+  Alcotest.(check bool)
+    "not in the pre-watermark range" false
+    (Engine.Relation.mem_in r ~lo:0 ~hi:w (tup [ "a"; "b" ]));
+  Alcotest.(check bool)
+    "in the delta range" true
+    (Engine.Relation.mem_in r ~lo:w ~hi:(Engine.Relation.size r) (tup [ "a"; "b" ]));
+  let in_delta = ref [] in
+  Engine.Relation.iter_in r ~lo:w ~hi:(Engine.Relation.size r) (fun t ->
+      in_delta := t :: !in_delta);
+  Alcotest.(check int) "delta iteration sees exactly it" 1 (List.length !in_delta);
+  Alcotest.(check int) "cardinal" 2 (Engine.Relation.cardinal r)
+
+let test_remove_copy () =
+  let r = Engine.Relation.create 2 in
+  ignore (Engine.Relation.add r (tup [ "a"; "b" ]));
+  ignore (Engine.Relation.add r (tup [ "c"; "d" ]));
+  ignore (Engine.Relation.remove r (tup [ "a"; "b" ]));
+  let c = Engine.Relation.copy r in
+  Alcotest.(check int) "copy drops tombstones" 1 (Engine.Relation.cardinal c);
+  Alcotest.(check bool) "copy mem" true (Engine.Relation.mem c (tup [ "c"; "d" ]))
+
 let test_database () =
   let db = Engine.Database.create () in
   ignore (Engine.Database.add_fact db (atom "p(a, b)"));
@@ -100,6 +146,9 @@ let suite =
     Alcotest.test_case "lookup" `Quick test_lookup;
     Alcotest.test_case "index updates" `Quick test_index_updates;
     prop_lookup_is_filter;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "remove/re-add stamps" `Quick test_remove_readd_stamps;
+    Alcotest.test_case "copy after remove" `Quick test_remove_copy;
     Alcotest.test_case "database" `Quick test_database;
     Alcotest.test_case "database arith" `Quick test_database_arith_normalized;
   ]

@@ -1,0 +1,122 @@
+(* Builtin comparison semantics in Solve: native integer ordering,
+   Term.compare fallback for symbolic operands, bidirectional binding
+   through [=], and the Unsafe discipline for unbound literals. *)
+
+open Datalog
+open Helpers
+
+let solutions builtin subst =
+  let acc = ref [] in
+  Engine.Solve.eval_builtin builtin subst (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let holds builtin = solutions builtin Subst.empty <> []
+
+let cmp op l r = Atom.make op [ l; r ]
+
+let test_int_comparisons () =
+  List.iter
+    (fun (op, l, r, expected) ->
+      Alcotest.(check bool)
+        (Fmt.str "%d %s %d" l op r)
+        expected
+        (holds (cmp op (Term.Int l) (Term.Int r))))
+    [
+      ("<", 1, 2, true); ("<", 2, 1, false); ("<", 1, 1, false);
+      ("<=", 1, 1, true); (">", 2, 1, true); (">=", 1, 2, false);
+      ("<>", 1, 2, true); ("<>", 1, 1, false);
+    ]
+
+let test_symbolic_comparisons_fall_back_to_term_compare () =
+  (* with a non-integer operand the ordering is Term.compare's total
+     order on ground terms, and it must agree with it exactly *)
+  let cases =
+    [
+      (Term.Sym "a", Term.Sym "b");
+      (Term.Sym "b", Term.Sym "a");
+      (Term.Int 5, Term.Sym "a");
+      (Term.Sym "a", Term.Int 5);
+      (term "f(1)", term "f(2)");
+      (Term.Sym "a", Term.Sym "a");
+    ]
+  in
+  List.iter
+    (fun (l, r) ->
+      let c = Term.compare l r in
+      Alcotest.(check bool) "<" (c < 0) (holds (cmp "<" l r));
+      Alcotest.(check bool) "<=" (c <= 0) (holds (cmp "<=" l r));
+      Alcotest.(check bool) ">" (c > 0) (holds (cmp ">" l r));
+      Alcotest.(check bool) ">=" (c >= 0) (holds (cmp ">=" l r)))
+    cases
+
+let test_eq_binds_both_directions () =
+  let check_binding name builtin =
+    match solutions builtin Subst.empty with
+    | [ s ] ->
+      Alcotest.(check bool)
+        (name ^ " binds X to 3")
+        true
+        (Term.equal (Subst.apply s (Term.Var "X")) (Term.Int 3))
+    | l -> Alcotest.failf "%s: expected one solution, got %d" name (List.length l)
+  in
+  check_binding "X = 3" (cmp "=" (Term.Var "X") (Term.Int 3));
+  check_binding "3 = X" (cmp "=" (Term.Int 3) (Term.Var "X"));
+  (* arithmetic on the bound side is evaluated before unification *)
+  check_binding "X = 1 + 2" (cmp "=" (Term.Var "X") (term "1 + 2"));
+  (* ground = ground filters *)
+  Alcotest.(check bool) "3 = 3" true (holds (cmp "=" (Term.Int 3) (Term.Int 3)));
+  Alcotest.(check bool) "3 = 4" false (holds (cmp "=" (Term.Int 3) (Term.Int 4)))
+
+let expect_unsafe name f =
+  Alcotest.(check bool)
+    name true
+    (try
+       f ();
+       false
+     with Engine.Solve.Unsafe _ -> true)
+
+let test_unsafe_unbound_builtin () =
+  expect_unsafe "X < 3 with X unbound" (fun () ->
+      ignore (solutions (cmp "<" (Term.Var "X") (Term.Int 3)) Subst.empty));
+  (* = with an unbound side is fine: it binds *)
+  Alcotest.(check bool)
+    "X = 3 is safe" true
+    (holds (cmp "=" (Term.Var "X") (Term.Int 3)))
+
+let test_unsafe_unbound_negated_literal () =
+  let db = Engine.Database.of_facts [ atom "b(1)" ] in
+  let r =
+    Rule.make
+      (Atom.make "a" [ Term.Var "X" ])
+      [ Rule.Pos (atom "b(X)"); Rule.Neg (atom "c(X, Y)") ]
+  in
+  expect_unsafe "negated literal with unbound Y" (fun () ->
+      Engine.Solve.fire_rule
+        ~source:(fun _ sym -> Engine.Database.find db sym)
+        ~neg_source:(fun sym -> Engine.Database.find db sym)
+        ~on_fact:(fun _ -> ())
+        r)
+
+let test_negation_filters_when_ground () =
+  let db = Engine.Database.of_facts [ atom "b(1)"; atom "b(2)"; atom "c(1)" ] in
+  let derived = ref [] in
+  Engine.Solve.fire_rule
+    ~source:(fun _ sym -> Engine.Database.find db sym)
+    ~neg_source:(fun sym -> Engine.Database.find db sym)
+    ~on_fact:(fun h -> derived := h :: !derived)
+    (Rule.make (Atom.make "a" [ Term.Var "X" ])
+       [ Rule.Pos (atom "b(X)"); Rule.Neg (atom "c(X)") ]);
+  Alcotest.(check (list (Alcotest.testable Atom.pp Atom.equal)))
+    "only b(2) survives the negation" [ atom "a(2)" ] !derived
+
+let suite =
+  [
+    Alcotest.test_case "int comparisons" `Quick test_int_comparisons;
+    Alcotest.test_case "symbolic comparisons use Term.compare" `Quick
+      test_symbolic_comparisons_fall_back_to_term_compare;
+    Alcotest.test_case "= binds both directions" `Quick test_eq_binds_both_directions;
+    Alcotest.test_case "unsafe unbound builtin" `Quick test_unsafe_unbound_builtin;
+    Alcotest.test_case "unsafe unbound negated literal" `Quick
+      test_unsafe_unbound_negated_literal;
+    Alcotest.test_case "ground negation filters" `Quick test_negation_filters_when_ground;
+  ]

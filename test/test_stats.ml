@@ -25,6 +25,32 @@ let test_merge () =
   Alcotest.(check int) "facts" 3 m.S.facts;
   Alcotest.(check int) "per pred summed" 3 (S.facts_for m sym + S.facts_for m (Symbol.make "q" 1))
 
+(* regression: merge must deep-copy the per-predicate counters — an
+   aliased ref would double-count when either input keeps recording *)
+let test_merge_never_aliases () =
+  let a = S.create () and b = S.create () in
+  S.record_fact a sym ~is_new:true;
+  S.record_fact b sym ~is_new:true;
+  let m = S.merge a b in
+  Alcotest.(check int) "merged per-pred" 2 (S.facts_for m sym);
+  S.record_fact a sym ~is_new:true;
+  S.record_fact b sym ~is_new:true;
+  Alcotest.(check int) "later recording into a does not leak" 2 (S.facts_for m sym);
+  S.record_fact m sym ~is_new:true;
+  Alcotest.(check int) "recording into the merge does not leak back" 2 (S.facts_for a sym)
+
+let test_merge_sums_maintenance_counters () =
+  let a = S.create () and b = S.create () in
+  a.S.overdeleted <- 3;
+  a.S.rederived <- 1;
+  a.S.delta_firings <- 10;
+  b.S.overdeleted <- 4;
+  b.S.delta_firings <- 5;
+  let m = S.merge a b in
+  Alcotest.(check int) "overdeleted" 7 m.S.overdeleted;
+  Alcotest.(check int) "rederived" 1 m.S.rederived;
+  Alcotest.(check int) "delta firings" 15 m.S.delta_firings
+
 let test_engine_counts_are_consistent () =
   (* firings = facts + rederivations for every engine *)
   let p, q, edb =
@@ -82,6 +108,9 @@ let suite =
   [
     Alcotest.test_case "record" `Quick test_record;
     Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "merge never aliases" `Quick test_merge_never_aliases;
+    Alcotest.test_case "merge sums maintenance counters" `Quick
+      test_merge_sums_maintenance_counters;
     Alcotest.test_case "engine consistency" `Quick test_engine_counts_are_consistent;
     Alcotest.test_case "probes skip missing relations" `Quick
       test_probes_skip_missing_relations;
