@@ -71,7 +71,7 @@ let eval_rule ~naming ~edb ~facts ~register (ar : Adorn.adorned_rule) subst0 =
                       not bind what its adornment promises"
                      Atom.pp atom);
               if Adornment.has_bound adornment then
-                register (orig_pred, adornment, Array.of_list bound);
+                register (orig_pred, adornment, Engine.Tuple.of_list bound);
               let answers = lookup_facts (orig_pred, adornment) in
               Engine.Tuple.Set.fold
                 (fun tuple acc ->
@@ -115,7 +115,7 @@ let reference (adorned : Adorn.t) ~edb =
   (* seed: the query itself *)
   let qpred, qa = adorned.Adorn.query_pred in
   let qbound = Adornment.select_bound qa adorned.Adorn.query.Atom.args in
-  if Adornment.has_bound qa then register (qpred, qa, Array.of_list qbound);
+  if Adornment.has_bound qa then register (qpred, qa, Engine.Tuple.of_list qbound);
   (* all-free adorned predicates have no magic restriction: they are
      computed in full, so treat each as an implicit query *)
   List.iter
@@ -149,7 +149,7 @@ let reference (adorned : Adorn.t) ~edb =
                   (fun s ->
                     let head = Atom.apply_eval s ar.Adorn.rule.Rule.head in
                     if Atom.is_ground head then
-                      add_fact (pred, a) (Array.of_list head.Atom.args))
+                      add_fact (pred, a) (Engine.Tuple.of_list head.Atom.args))
                   solutions
             end)
           adorned.Adorn.rules)

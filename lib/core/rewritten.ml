@@ -76,7 +76,7 @@ let answers t outcome =
               in
               drop t.index_fields (Engine.Tuple.to_list tuple)
             in
-            Engine.Tuple.Set.add (Array.of_list (restore_tuple t.restore args)) acc
+            Engine.Tuple.Set.add (Engine.Tuple.of_list (restore_tuple t.restore args)) acc
           else acc)
         rel Engine.Tuple.Set.empty
     in

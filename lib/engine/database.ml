@@ -19,8 +19,7 @@ let add_tuple db sym t = Relation.add (relation db sym) t
 let add_fact db a =
   if not (Atom.is_ground a) then
     invalid_arg (Fmt.str "Database.add_fact: non-ground atom %a" Atom.pp a);
-  add_tuple db (Atom.symbol a)
-    (Array.of_list (List.map Term.eval a.Atom.args))
+  add_tuple db (Atom.symbol a) (Tuple.of_list (List.map Term.eval a.Atom.args))
 
 let remove_tuple db sym t =
   match find db sym with None -> false | Some r -> Relation.remove r t
@@ -28,13 +27,17 @@ let remove_tuple db sym t =
 let remove_fact db a =
   if not (Atom.is_ground a) then
     invalid_arg (Fmt.str "Database.remove_fact: non-ground atom %a" Atom.pp a);
-  remove_tuple db (Atom.symbol a)
-    (Array.of_list (List.map Term.eval a.Atom.args))
+  match Tuple.find_of_list (List.map Term.eval a.Atom.args) with
+  | None -> false
+  | Some t -> remove_tuple db (Atom.symbol a) t
 
 let mem db a =
   match find db (Atom.symbol a) with
   | None -> false
-  | Some r -> Relation.mem r (Array.of_list (List.map Term.eval a.Atom.args))
+  | Some r -> (
+    match Tuple.find_of_list (List.map Term.eval a.Atom.args) with
+    | None -> false
+    | Some t -> Relation.mem r t)
 
 let mem_tuple db sym t =
   match find db sym with None -> false | Some r -> Relation.mem r t

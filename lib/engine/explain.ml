@@ -59,7 +59,7 @@ let compute_ranks program db =
     in
     List.iter
       (fun head ->
-        let tuple = Array.of_list (List.map Term.eval head.Atom.args) in
+        let tuple = Tuple.of_list (List.map Term.eval head.Atom.args) in
         let tbl = rank_tbl (Atom.symbol head) in
         if not (Tuple.Tbl.mem tbl tuple) then Tuple.Tbl.replace tbl tuple !round)
       fresh;
@@ -71,8 +71,10 @@ let compute_ranks program db =
     else
       match Symbol.Tbl.find_opt ranks sym with
       | None -> None
-      | Some tbl ->
-        Tuple.Tbl.find_opt tbl (Array.of_list (List.map Term.eval atom.Atom.args))
+      | Some tbl -> (
+        match Tuple.find_of_list (List.map Term.eval atom.Atom.args) with
+        | None -> None
+        | Some tuple -> Tuple.Tbl.find_opt tbl tuple)
 
 let derive program db goal =
   let derived = Program.derived program in
@@ -136,11 +138,12 @@ let derive program db goal =
       let candidates =
         match Database.find db (Atom.symbol inst) with
         | None -> []
-        | Some rel ->
+        | Some rel -> (
           let args = inst.Atom.args in
           let pattern = Array.of_list (List.map Term.is_ground args) in
-          let key = Array.of_list (List.filter Term.is_ground args) in
-          Relation.lookup rel ~pattern ~key
+          match Tuple.find_of_list (List.filter Term.is_ground args) with
+          | None -> []
+          | Some key -> Relation.lookup rel ~pattern ~key)
       in
       List.find_map
         (fun tuple ->

@@ -20,8 +20,18 @@ let stats_fields (s : Stats.t) ~time_s =
     field "time_s" (Fmt.str "%.6f" time_s);
   ]
 
-let result_row ~workload ~meth ~status stats ~time_s ~answers =
+let gc_fields (g : Stats.gc_counters) =
+  [
+    field "minor_words" (Fmt.str "%.0f" g.Stats.minor_words);
+    field "major_words" (Fmt.str "%.0f" g.Stats.major_words);
+    field "promoted_words" (Fmt.str "%.0f" g.Stats.promoted_words);
+    field "minor_collections" (string_of_int g.Stats.minor_collections);
+    field "major_collections" (string_of_int g.Stats.major_collections);
+  ]
+
+let result_row ~workload ~meth ~status ?gc stats ~time_s ~answers =
   obj
     ([ field "workload" (str workload); field "method" (str meth); field "status" (str status) ]
     @ stats_fields stats ~time_s
+    @ (match gc with None -> [] | Some g -> gc_fields g)
     @ [ field "answers" (string_of_int answers) ])

@@ -15,14 +15,18 @@ val stats_fields : Stats.t -> time_s:float -> string list
 (** The common statistics fields of a result row, including the
     incremental-maintenance counters. *)
 
+val gc_fields : Stats.gc_counters -> string list
+(** Allocation / collection counter fields of a result row. *)
+
 val result_row :
   workload:string ->
   meth:string ->
   status:string ->
+  ?gc:Stats.gc_counters ->
   Stats.t ->
   time_s:float ->
   answers:int ->
   string
 (** One evaluation result row: workload, method, status, statistics,
-    wall-clock seconds, answer count — the row schema of
-    [BENCH_engine.json] and of [magic eval --json]. *)
+    optional GC counters, wall-clock seconds, answer count — the row
+    schema of [BENCH_engine.json] and of [magic eval --json]. *)

@@ -23,12 +23,13 @@ type emit = Direct of Symbol.t * slot array | Dynamic of Atom.t
 (* Pure-relational instances (every step a scan, every free position a
    plain variable, every key slot a constant or a bound variable, head
    statically safe) additionally compile to an integer-slot form: the
-   substitution becomes a [Term.t array] indexed by compile-time variable
-   numbers, so the inner join loop allocates no map nodes and performs no
-   logarithmic lookups.  Static binding discipline makes un-binding on
+   substitution becomes a [Value.t array] indexed by compile-time
+   variable numbers, so the inner join loop allocates no map nodes,
+   performs no logarithmic lookups, and compares interned ids instead of
+   term structures.  Static binding discipline makes un-binding on
    backtrack unnecessary: a slot is only ever read after a write on the
    current path. *)
-type fslot = Fconst of Term.t | Fbound of int
+type fslot = Fconst of Value.t | Fbound of int
 
 type faction =
   | Bind of int * int  (** tuple position [pos] binds env slot [slot] *)
@@ -202,7 +203,7 @@ let fast_of_instance steps head =
   let slots = Hashtbl.create 8 in
   let fvars = ref 0 in
   let conv_key = function
-    | Const t -> Fconst t
+    | Const t -> Fconst (Value.intern t)
     | Bound x -> begin
       match Hashtbl.find_opt slots x with
       | Some i -> Fbound i
@@ -238,7 +239,7 @@ let fast_of_instance steps head =
               fsym = s.sym;
               fpattern = s.pattern;
               fkey;
-              fkeybuf = Array.make (Array.length fkey) (Term.Int 0);
+              fkeybuf = Array.make (Array.length fkey) (Value.intern (Term.Int 0));
               ffree;
               fall_bound = s.all_bound;
             }
@@ -334,13 +335,22 @@ let full rel = { rel; lo = 0; hi = max_int }
 let db_source db _ sym =
   match Database.find db sym with Some r -> [ full r ] | None -> []
 
-let view_mem views key =
-  List.exists (fun v -> Relation.mem_in v.rel ~lo:v.lo ~hi:v.hi key) views
+(* singleton view lists are the overwhelmingly common case (the ordinary
+   engines never pass anything else): dispatch without allocating the
+   List.exists / List.iter closures *)
+let rec view_mem views key =
+  match views with
+  | [] -> false
+  | [ v ] -> Relation.mem_in v.rel ~lo:v.lo ~hi:v.hi key
+  | v :: rest -> Relation.mem_in v.rel ~lo:v.lo ~hi:v.hi key || view_mem rest key
 
-let views_iter_matching views ~pattern ~key f =
-  List.iter
-    (fun v -> Relation.iter_matching_in v.rel ~pattern ~key ~lo:v.lo ~hi:v.hi f)
-    views
+let rec views_iter_matching views ~pattern ~key f =
+  match views with
+  | [] -> ()
+  | [ v ] -> Relation.iter_matching_in v.rel ~pattern ~key ~lo:v.lo ~hi:v.hi f
+  | v :: rest ->
+    Relation.iter_matching_in v.rel ~pattern ~key ~lo:v.lo ~hi:v.hi f;
+    views_iter_matching rest ~pattern ~key f
 
 let bump_probes stats =
   match stats with None -> () | Some s -> s.Stats.probes <- s.Stats.probes + 1
@@ -354,19 +364,19 @@ let slot_value subst = function
   end
   | Expr t -> Term.eval (Subst.apply subst t)
 
-let eval_key subst slots = Array.map (slot_value subst) slots
+let eval_key subst slots = Array.map (fun s -> Value.intern (slot_value subst s)) slots
 
 let rec match_free free tuple subst =
   match free with
   | [] -> Some subst
   | (pos, pat) :: rest -> begin
-    match Subst.match_term pat tuple.(pos) subst with
+    match Subst.match_term pat (Value.extern tuple.(pos)) subst with
     | None -> None
     | Some subst' -> match_free rest tuple subst'
   end
 
 let run_fast ?stats ~source ~on_fact f =
-  let env = Array.make (max 1 f.fvars) (Term.Int 0) in
+  let env = Array.make (max 1 f.fvars) (Value.intern (Term.Int 0)) in
   let bump =
     match stats with
     | None -> fun () -> ()
@@ -384,7 +394,7 @@ let run_fast ?stats ~source ~on_fact f =
       | views ->
         let key = s.fkeybuf in
         for j = 0 to Array.length s.fkey - 1 do
-          key.(j) <- (match s.fkey.(j) with Fconst t -> t | Fbound w -> env.(w))
+          key.(j) <- (match s.fkey.(j) with Fconst v -> v | Fbound w -> env.(w))
         done;
         bump ();
         if s.fall_bound then begin
@@ -401,7 +411,7 @@ let run_fast ?stats ~source ~on_fact f =
                     env.(slot) <- tuple.(pos);
                     apply (j + 1)
                   | Check (pos, slot) ->
-                    if Term.equal env.(slot) tuple.(pos) then apply (j + 1)
+                    if Value.equal env.(slot) tuple.(pos) then apply (j + 1)
               in
               apply 0)
   in
@@ -419,7 +429,7 @@ let run_generic ?stats ~source ~neg_source ~on_fact instance =
         raise
           (Solve.Unsafe
              (Fmt.str "rule for %a derived non-ground head %a" Atom.pp h Atom.pp head));
-      on_fact (Atom.symbol head) (Array.of_list head.Atom.args)
+      on_fact (Atom.symbol head) (Tuple.of_list head.Atom.args)
   in
   let rec go i subst =
     if i >= nsteps then emit subst
@@ -471,9 +481,12 @@ let run_generic ?stats ~source ~neg_source ~on_fact instance =
                       a));
             (match neg_source lit sym with
              | [] -> false
-             | views ->
+             | views -> (
                bump_probes stats;
-               view_mem views (Array.of_list a.Atom.args))
+               (* a component that was never interned occurs in no view *)
+               match Tuple.find_of_list a.Atom.args with
+               | None -> false
+               | Some key -> view_mem views key))
         in
         if not holds then go (i + 1) subst
   in

@@ -73,10 +73,12 @@ type emit =
 
 type fast
 (** Integer-slot compiled form of a pure-relational instance: the
-    substitution is a [Term.t array] indexed by compile-time variable
-    numbers, eliminating map allocation from the inner join loop.
-    Instances using builtins, negation, arithmetic or dynamic heads fall
-    back to the substitution-based executor. *)
+    substitution is a [Value.t array] indexed by compile-time variable
+    numbers, eliminating map allocation from the inner join loop; key
+    constants are pre-interned and probe keys are written into a reused
+    per-scan buffer, so a probe allocates nothing.  Instances using
+    builtins, negation, arithmetic or dynamic heads fall back to the
+    substitution-based executor. *)
 
 type instance = { steps : step array; head : emit; fast : fast option }
 (** One executable join order for the rule.  Steps carry original body

@@ -17,13 +17,15 @@ let atom_matches ?stats src atom subst k =
     bump_probes stats;
     let args = List.map (fun t -> Term.eval (Subst.apply subst t)) atom.Atom.args in
     let pattern = Array.of_list (List.map Term.is_ground args) in
-    let key =
-      Array.of_list (List.filter Term.is_ground args)
-    in
-    Relation.iter_matching rel ~pattern ~key (fun tuple ->
-        match Subst.match_list args (Tuple.to_list tuple) subst with
-        | Some subst' -> k subst'
-        | None -> ())
+    (* a ground key component that was never interned occurs in no
+       relation, so the probe is a guaranteed miss *)
+    (match Tuple.find_of_list (List.filter Term.is_ground args) with
+    | None -> ()
+    | Some key ->
+      Relation.iter_matching rel ~pattern ~key (fun tuple ->
+          match Subst.match_list args (Tuple.to_list tuple) subst with
+          | Some subst' -> k subst'
+          | None -> ()))
 
 let match_against ?stats src atom subst =
   let acc = ref [] in
@@ -96,9 +98,11 @@ let solve ?stats ~source ~neg_source body subst k =
           else
             match neg_source (Atom.symbol a) with
             | None -> false
-            | Some rel ->
+            | Some rel -> (
               bump_probes stats;
-              Relation.mem rel (Array.of_list a.Atom.args)
+              match Tuple.find_of_list a.Atom.args with
+              | None -> false
+              | Some t -> Relation.mem rel t)
         in
         if not holds then go (i + 1) rest subst
       end

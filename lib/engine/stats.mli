@@ -36,3 +36,24 @@ val merge : t -> t -> t
     merge (or of the inputs) cannot alias or double-count. *)
 
 val pp : t Fmt.t
+
+(** {2 Memory counters}
+
+    Allocation and collection totals over a measured region, as deltas
+    of [Gc.quick_stat]; the memory-aware half of a benchmark row. *)
+
+type gc_counters = {
+  minor_words : float;  (** words allocated in the minor heap *)
+  major_words : float;  (** words allocated in (or promoted to) the major heap *)
+  promoted_words : float;  (** words promoted minor -> major *)
+  minor_collections : int;
+  major_collections : int;
+}
+
+val gc_now : unit -> gc_counters
+(** Current process-lifetime totals (cheap: [Gc.quick_stat]). *)
+
+val gc_delta : before:gc_counters -> after:gc_counters -> gc_counters
+(** Counter increments between two {!gc_now} snapshots. *)
+
+val pp_gc : gc_counters Fmt.t

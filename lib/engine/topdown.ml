@@ -55,7 +55,7 @@ let sld ?(max_depth = 10_000) program ~edb query =
   solve [ Rule.Pos query ] Subst.empty max_depth (fun subst ->
       let a = Atom.apply_deep_eval subst query in
       if Atom.is_ground a then begin
-        let t = Array.of_list a.Atom.args in
+        let t = Tuple.of_list a.Atom.args in
         if not (Tuple.Set.mem t !answers) then begin
           answers := Tuple.Set.add t !answers;
           Stats.record_fact stats (Atom.symbol query) ~is_new:true
@@ -137,7 +137,7 @@ let tabled ?(max_passes = 1_000_000) program ~edb query =
             | [] ->
               let head = Atom.apply_deep_eval subst key in
               if Atom.is_ground head then
-                add_answer answers (Atom.symbol key) (Array.of_list head.Atom.args)
+                add_answer answers (Atom.symbol key) (Tuple.of_list head.Atom.args)
             | Rule.Pos g :: rest when Atom.is_builtin g ->
               Solve.eval_builtin g subst (fun s -> go rest s)
             | Rule.Pos g :: rest ->
@@ -166,12 +166,21 @@ let tabled ?(max_passes = 1_000_000) program ~edb query =
                 raise (Solve.Unsafe (Fmt.str "negated literal %a not ground" Atom.pp a))
               else begin
                 let holds =
-                  if Symbol.Set.mem (Atom.symbol a) derived then
-                    Tuple.Set.mem (Array.of_list a.Atom.args) !(register a)
+                  if Symbol.Set.mem (Atom.symbol a) derived then begin
+                    (* register first: the subgoal must be tabled even
+                       when the membership test misses *)
+                    let sub_answers = register a in
+                    match Tuple.find_of_list a.Atom.args with
+                    | None -> false
+                    | Some t -> Tuple.Set.mem t !sub_answers
+                  end
                   else
                     match edb_source (Atom.symbol a) with
                     | None -> false
-                    | Some rel -> Relation.mem rel (Array.of_list a.Atom.args)
+                    | Some rel -> (
+                      match Tuple.find_of_list a.Atom.args with
+                      | None -> false
+                      | Some t -> Relation.mem rel t)
                 in
                 if not holds then go rest subst
               end

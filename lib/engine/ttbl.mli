@@ -1,0 +1,36 @@
+(** Flat open-addressing hash tables keyed by {!Tuple.t}: the engine's
+    stamp tables and index directories.  Quadratic probing over a
+    power-of-two capacity, byte-coded slot states, tombstoned deletion;
+    lookups allocate nothing ({!get}) or one option ({!find_opt}). *)
+
+type 'a t
+
+val create : ?initial:int -> 'a -> 'a t
+(** [create dummy] is an empty table.  [dummy] fills vacant value slots
+    and is what {!get} returns on a miss — pick a value no entry can
+    legitimately hold (a negative stamp, a private ref). *)
+
+val length : 'a t -> int
+(** Number of live entries. *)
+
+val dummy : 'a t -> 'a
+(** The table's dummy, for physical comparison against {!get} results. *)
+
+val add_if_absent : 'a t -> Tuple.t -> 'a -> bool
+(** Insert unless the key is present; [true] iff inserted (the existing
+    binding is never overwritten). *)
+
+val replace : 'a t -> Tuple.t -> 'a -> unit
+val mem : 'a t -> Tuple.t -> bool
+
+val get : 'a t -> Tuple.t -> 'a
+(** The key's value, or the table's dummy when absent.  Allocation-free. *)
+
+val get_proj : 'a t -> int array -> Tuple.t -> 'a
+(** [get_proj t positions tuple] is [get t (Tuple.project positions
+    tuple)] without materializing the projected key. *)
+
+val find_opt : 'a t -> Tuple.t -> 'a option
+val remove : 'a t -> Tuple.t -> unit
+val iter : (Tuple.t -> 'a -> unit) -> 'a t -> unit
+val reset : 'a t -> unit

@@ -1,22 +1,35 @@
 open Datalog
 
-type t = Term.t array
+type t = Value.t array
 
 let of_list ts =
-  List.iter
-    (fun t -> if not (Term.is_ground t) then invalid_arg "Tuple.of_list: non-ground term")
-    ts;
-  Array.of_list ts
+  Array.of_list
+    (List.map
+       (fun t ->
+         if not (Term.is_ground t) then invalid_arg "Tuple.of_list: non-ground term";
+         Value.intern t)
+       ts)
 
-let to_list = Array.to_list
+let find_of_list ts =
+  let rec go acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | t :: rest -> (
+      match Value.find t with Some v -> go (v :: acc) rest | None -> None)
+  in
+  go [] ts
+
+let to_list t = List.map Value.extern (Array.to_list t)
 let arity = Array.length
 
 let equal a b =
-  Array.length a = Array.length b
-  &&
-  let rec go i = i >= Array.length a || (Term.equal a.(i) b.(i) && go (i + 1)) in
-  go 0
+  a == b
+  || Array.length a = Array.length b
+     &&
+     let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+     go 0
 
+(* Structural order (via the denoted terms): keeps answer lists sorted
+   the same way they were before interning, independent of intern order. *)
 let compare a b =
   let c = Int.compare (Array.length a) (Array.length b) in
   if c <> 0 then c
@@ -24,17 +37,43 @@ let compare a b =
     let rec go i =
       if i >= Array.length a then 0
       else
-        let c = Term.compare a.(i) b.(i) in
+        let c = Value.compare_structural a.(i) b.(i) in
         if c <> 0 then c else go (i + 1)
     in
     go 0
 
-let hash a = Array.fold_left (fun h t -> (h * 31) + Term.hash t) 17 a
+(* FNV-1a over the packed ids: no polymorphic hashing, no term walks. *)
+let hash a =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length a - 1 do
+    h := (!h lxor Value.to_int a.(i)) * 0x01000193
+  done;
+  !h land max_int
+
+(* the hash/equality a projection of [t] on [positions] WOULD have, so
+   index maintenance can probe for a bucket without materializing the
+   key ({!Ttbl.get_proj}); must agree with {!hash}/{!equal} on the
+   materialized projection *)
+let hash_proj positions t =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length positions - 1 do
+    h := (!h lxor Value.to_int t.(Array.unsafe_get positions i)) * 0x01000193
+  done;
+  !h land max_int
+
+let equal_proj positions t key =
+  Array.length key = Array.length positions
+  &&
+  let rec go i =
+    i >= Array.length positions
+    || (Value.equal key.(i) t.(Array.unsafe_get positions i) && go (i + 1))
+  in
+  go 0
 
 let project positions t = Array.of_list (List.map (fun i -> t.(i)) positions)
 
 let pp ppf t =
-  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") Term.pp) (Array.to_list t)
+  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") Value.pp) (Array.to_list t)
 
 let to_string t = Fmt.str "%a" pp t
 

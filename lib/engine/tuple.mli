@@ -1,9 +1,19 @@
-(** Ground tuples: the rows of extensional and intensional relations. *)
+(** Ground tuples: the rows of extensional and intensional relations.
 
-type t = Datalog.Term.t array
+    A tuple is an array of interned {!Value.t} ids, so equality and
+    hashing are integer operations; {!compare} orders by the denoted
+    terms, so sorted answer lists are stable across intern orders. *)
+
+type t = Value.t array
 
 val of_list : Datalog.Term.t list -> t
-(** @raise Invalid_argument if any term is non-ground. *)
+(** Interns every component (ground arithmetic is evaluated).
+    @raise Invalid_argument if any term is non-ground. *)
+
+val find_of_list : Datalog.Term.t list -> t option
+(** Non-inserting {!of_list}: [None] if some component was never
+    interned — such a tuple occurs in no relation.  Used on probe and
+    membership paths so lookups of absent keys do not grow the pool. *)
 
 val to_list : t -> Datalog.Term.t list
 val arity : t -> int
@@ -13,6 +23,14 @@ val hash : t -> int
 
 val project : int list -> t -> t
 (** [project positions t] keeps the given 0-based positions, in order. *)
+
+val hash_proj : int array -> t -> int
+(** [hash_proj positions t] = [hash] of the projection of [t] on
+    [positions], computed without materializing it. *)
+
+val equal_proj : int array -> t -> t -> bool
+(** [equal_proj positions t key]: does the projection of [t] on
+    [positions] equal [key]? *)
 
 val pp : t Fmt.t
 val to_string : t -> string

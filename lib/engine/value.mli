@@ -1,0 +1,43 @@
+(** Hash-consed ground values: every ground term is interned once into a
+    dense non-negative [int] id with O(1) [equal]/[hash] and an O(1)
+    extern table back to the canonical {!Datalog.Term.t}.
+
+    The pool is global and append-only; ids are stable for the lifetime
+    of the process.  Ground arithmetic is normalized when interned, so
+    [intern (Add (Int 1, Int 2)) = intern (Int 3)]. *)
+
+type t = private int
+
+val intern : Datalog.Term.t -> t
+(** Intern a ground term, evaluating ground arithmetic first.
+    @raise Invalid_argument on a non-ground term.
+    @raise Datalog.Term.Arithmetic_overflow (or [Division_by_zero]) if
+    the term's arithmetic does. *)
+
+val find : Datalog.Term.t -> t option
+(** Like {!intern} but never grows the pool: [None] means the term was
+    never interned — and therefore occurs in no relation.  [None] on
+    non-ground terms. *)
+
+val extern : t -> Datalog.Term.t
+(** The canonical term a value denotes; O(1).  Arithmetic interned as
+    part of the value appears in evaluated form. *)
+
+val of_int : int -> t
+(** Cast an id back to a value.
+    @raise Invalid_argument if no such value was interned. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+(** Id order: an arbitrary but fixed total order, cheapest to compare. *)
+
+val compare_structural : t -> t -> int
+(** Order of the denoted terms ({!Datalog.Term.compare}); used where
+    output ordering must match the symbolic representation. *)
+
+val pool_size : unit -> int
+(** Number of distinct values interned so far (App arguments included). *)
+
+val pp : t Fmt.t

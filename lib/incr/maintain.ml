@@ -588,7 +588,7 @@ let process_dred t ~stats ~changes ~ext_ops ~budget u =
 let tuple_of_atom a =
   if not (Atom.is_ground a) then
     invalid_arg (Fmt.str "Incr.Maintain: non-ground update %a" Atom.pp a);
-  (Atom.symbol a, Array.of_list (List.map Term.eval a.Atom.args))
+  (Atom.symbol a, Tup.of_list (List.map Term.eval a.Atom.args))
 
 (* Net effect of an ordered op list per predicate: a tuple is deleted if
    it was present before the transaction and absent after, inserted if

@@ -122,7 +122,7 @@ let test_indices_identify_levels () =
   | Some rel ->
     Engine.Relation.iter
       (fun t ->
-        match t.(0), t.(3) with
+        match Engine.Value.extern t.(0), Engine.Value.extern t.(3) with
         | Term.Int level, Term.Sym node ->
           Alcotest.(check string) "level encodes depth" (Fmt.str "n_%d" level) node
         | _ -> Alcotest.fail "unexpected cnt tuple shape")

@@ -213,6 +213,25 @@ let prop_engines_identical =
       | reference :: rest -> List.for_all (fun s -> s = reference) rest
       | [] -> true)
 
+(* the plan-compiled engine against the uncompiled reference engine on
+   GMS-rewritten random programs — the shape the bench's speedup number
+   measures, with answers extracted through the rewrite's restore maps *)
+let prop_rewritten_engines_identical =
+  qtest ~count:60 "engines: reference = plan on gms-rewritten random programs"
+    gen_random_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      let q = Atom.make "i0" [ Term.Sym "n0"; Term.Var "Y" ] in
+      let rw = C.Rewrite.rewrite C.Rewrite.GMS p q in
+      let answers engine =
+        let out = C.Rewritten.run ~engine rw ~edb in
+        List.sort Engine.Tuple.compare (C.Rewritten.answers rw out)
+      in
+      List.equal Engine.Tuple.equal
+        (answers `Seminaive_reference)
+        (answers `Seminaive))
+
 let prop_budget_zero_iterations =
   qtest ~count:40 "engines: max_iterations:0 diverges before any work"
     gen_random_case
@@ -258,6 +277,7 @@ let suite =
     prop_gms_equivalent_on_random_graphs;
     prop_all_strategies_on_random_graphs;
     prop_engines_identical;
+    prop_rewritten_engines_identical;
     prop_budget_zero_iterations;
     prop_budget_one_fact;
   ]

@@ -41,7 +41,9 @@ let test_arith_heads () =
   in
   let out = Engine.Eval.seminaive p ~edb in
   match Engine.Eval.answers out q with
-  | [ t ] -> Alcotest.(check bool) "depth 2" true (Term.equal t.(1) (Term.Int 2))
+  | [ t ] ->
+    Alcotest.(check bool) "depth 2" true
+      (Term.equal (Engine.Value.extern t.(1)) (Term.Int 2))
   | _ -> Alcotest.fail "expected one answer"
 
 let test_stratified_negation () =
@@ -135,7 +137,9 @@ let prop_tc_is_reachability =
       let q = Atom.make "tc" [ Term.Var "X"; Term.Var "Y" ] in
       let computed =
         List.map
-          (fun t -> (Term.to_string t.(0), Term.to_string t.(1)))
+          (fun t ->
+            ( Term.to_string (Engine.Value.extern t.(0)),
+              Term.to_string (Engine.Value.extern t.(1)) ))
           (Engine.Eval.answers (Engine.Eval.seminaive p ~edb) q)
         |> List.sort_uniq compare
       in

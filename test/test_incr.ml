@@ -9,7 +9,7 @@ module M = Incr.Maintain
 module S = Incr.Session
 
 let sorted = List.sort Engine.Tuple.compare
-let tup l = Array.of_list (List.map term l)
+let tup l = Engine.Tuple.of_list (List.map term l)
 
 let wildcard pred arity =
   Atom.make pred (List.init arity (fun i -> Term.Var (Fmt.str "A%d" i)))
@@ -182,7 +182,8 @@ let test_session_original () =
   let ans, _ = S.query s (atom "path(Ans, c)") in
   Alcotest.(check tuple_list)
     "rebound query" (scratch_pred path [ atom "e(a, b)"; atom "e(a, c)" ] "path" 2
-                     |> List.filter (fun t -> Term.equal t.(1) (Term.Sym "c")))
+                     |> List.filter (fun t ->
+                            Term.equal (Engine.Value.extern t.(1)) (Term.Sym "c")))
     (sorted ans)
 
 (* ------------------------------------------------------------------ *)

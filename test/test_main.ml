@@ -5,6 +5,7 @@ let () =
       ("subst", Test_subst.suite);
       ("parser", Test_parser.suite);
       ("program", Test_program.suite);
+      ("value", Test_value.suite);
       ("relation", Test_relation.suite);
       ("stats", Test_stats.suite);
       ("solve", Test_solve.suite);

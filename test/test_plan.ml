@@ -125,7 +125,7 @@ let test_range_views () =
   (* the delta instance reads only the [lo, hi) stamp range of t *)
   let db = E.Database.of_facts [ atom "e(n1, n2)"; atom "e(n2, n3)" ] in
   let trel = E.Database.relation db (sym "t" 2) in
-  let tadd a b = ignore (E.Relation.add trel [| Term.Sym a; Term.Sym b |]) in
+  let tadd a b = ignore (E.Relation.add trel (E.Tuple.of_list [ Term.Sym a; Term.Sym b ])) in
   tadd "n2" "n4";
   let d = E.Relation.size trel in
   tadd "n3" "n5";

@@ -1,7 +1,7 @@
 open Datalog
 open Helpers
 
-let tup l = Array.of_list (List.map term l)
+let tup l = Engine.Tuple.of_list (List.map term l)
 
 let test_add_mem () =
   let r = Engine.Relation.create 2 in
@@ -65,10 +65,51 @@ let prop_lookup_is_filter =
       let by_scan =
         List.sort Engine.Tuple.compare
           (List.filter
-             (fun t -> Term.equal t.(0) key.(0))
+             (fun t -> Engine.Value.equal t.(0) key.(0))
              (Engine.Relation.to_list r))
       in
       List.equal Engine.Tuple.equal by_index by_scan)
+
+(* index coherence under arbitrary interleavings of adds, removes and
+   re-adds: an index built before the mutations must keep agreeing with
+   a filtered scan on every probe key, and removed entries must not
+   resurface *)
+let prop_index_coherent_under_removal =
+  let gen_ops =
+    QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 30)
+      (QCheck2.Gen.triple QCheck2.Gen.bool (QCheck2.Gen.int_bound 5)
+         (QCheck2.Gen.int_bound 5))
+  in
+  qtest ~count:100 "index = scan under remove/re-add"
+    (QCheck2.Gen.pair gen_edges gen_ops)
+    (fun (edges, ops) ->
+      let r = Engine.Relation.create 2 in
+      let n i = Fmt.str "n%d" i in
+      (* build both indexes up front so every mutation must maintain them *)
+      ignore (Engine.Relation.lookup r ~pattern:[| true; false |] ~key:(tup [ n 0 ]));
+      ignore (Engine.Relation.lookup r ~pattern:[| false; true |] ~key:(tup [ n 0 ]));
+      List.iter (fun (a, b) -> ignore (Engine.Relation.add r (tup [ n a; n b ]))) edges;
+      List.iter
+        (fun (add, a, b) ->
+          let t = tup [ n a; n b ] in
+          if add then ignore (Engine.Relation.add r t)
+          else ignore (Engine.Relation.remove r t))
+        ops;
+      let scan = Engine.Relation.to_list r in
+      let coherent pattern pos k =
+        let key = tup [ n k ] in
+        let by_index =
+          List.sort Engine.Tuple.compare (Engine.Relation.lookup r ~pattern ~key)
+        in
+        let by_scan =
+          List.sort Engine.Tuple.compare
+            (List.filter (fun t -> Engine.Value.equal t.(pos) key.(0)) scan)
+        in
+        List.equal Engine.Tuple.equal by_index by_scan
+      in
+      List.for_all
+        (fun k -> coherent [| true; false |] 0 k && coherent [| false; true |] 1 k)
+        [ 0; 1; 2; 3; 4; 5 ])
 
 let test_remove () =
   let r = Engine.Relation.create 2 in
@@ -146,6 +187,7 @@ let suite =
     Alcotest.test_case "lookup" `Quick test_lookup;
     Alcotest.test_case "index updates" `Quick test_index_updates;
     prop_lookup_is_filter;
+    prop_index_coherent_under_removal;
     Alcotest.test_case "remove" `Quick test_remove;
     Alcotest.test_case "remove/re-add stamps" `Quick test_remove_readd_stamps;
     Alcotest.test_case "copy after remove" `Quick test_remove_copy;

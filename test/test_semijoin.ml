@@ -56,7 +56,7 @@ let test_restore_reinserts_constants () =
   List.iter
     (fun t ->
       Alcotest.(check bool) "query constant restored" true
-        (Term.equal t.(0) (Workload.Generate.node "n" 0)))
+        (Term.equal (Engine.Value.extern t.(0)) (Workload.Generate.node "n" 0)))
     answers
 
 let test_anonymize () =

@@ -42,7 +42,8 @@ let test_sld_function_symbols () =
   | [ t ] ->
     Alcotest.(check bool)
       "reversed" true
-      (Term.equal t.(1) (Term.list (List.rev (List.init 5 (fun i -> Term.Int i)))))
+      (Term.equal (Engine.Value.extern t.(1))
+         (Term.list (List.rev (List.init 5 (fun i -> Term.Int i)))))
   | _ -> Alcotest.fail "expected one answer"
 
 let test_negation_as_failure () =

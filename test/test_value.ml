@@ -1,0 +1,86 @@
+(* The intern pool: round-trips, sharing, arithmetic normalization and
+   the non-inserting lookup. *)
+
+open Datalog
+open Helpers
+module V = Engine.Value
+
+let prop_roundtrip =
+  qtest ~count:300 "extern (intern t) = t on ground terms" gen_ground_term
+    (fun t -> Term.equal (V.extern (V.intern t)) t)
+
+let prop_dedup =
+  qtest ~count:300 "interning is idempotent (same id, shared extern)"
+    gen_ground_term (fun t ->
+      let a = V.intern t and b = V.intern t in
+      V.equal a b && V.to_int a = V.to_int b && V.extern a == V.extern b)
+
+let prop_injective =
+  qtest ~count:300 "distinct terms get distinct ids"
+    (QCheck2.Gen.pair gen_ground_term gen_ground_term)
+    (fun (t1, t2) ->
+      Term.equal t1 t2 = V.equal (V.intern t1) (V.intern t2))
+
+let prop_structural_order =
+  qtest ~count:300 "compare_structural = Term.compare on externs"
+    (QCheck2.Gen.pair gen_ground_term gen_ground_term)
+    (fun (t1, t2) ->
+      let c = V.compare_structural (V.intern t1) (V.intern t2) in
+      Int.compare c 0 = Int.compare (Term.compare t1 t2) 0)
+
+let test_arith_normalized () =
+  let v = V.intern (term "1 + 2") in
+  Alcotest.(check bool) "= intern 3" true (V.equal v (V.intern (Term.Int 3)));
+  Alcotest.(check bool) "externs evaluated" true (Term.equal (V.extern v) (Term.Int 3));
+  let nested = V.intern (Term.App ("f", [ term "2 * 3" ])) in
+  Alcotest.(check bool)
+    "arguments normalized too" true
+    (V.equal nested (V.intern (Term.App ("f", [ Term.Int 6 ]))))
+
+let test_non_ground_rejected () =
+  Alcotest.(check bool)
+    "intern Var raises" true
+    (try
+       ignore (V.intern (Term.Var "X"));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "find Var is None" true (V.find (Term.Var "X") = None)
+
+let test_find () =
+  let t = Term.App ("test_value_probe", [ Term.Int 42 ]) in
+  (* the pool is global: use a functor symbol no other test interns *)
+  Alcotest.(check bool) "absent before intern" true (V.find t = None);
+  let v = V.intern t in
+  Alcotest.(check bool) "present after" true (V.find t = Some v);
+  Alcotest.(check bool)
+    "absent argument stays absent" true
+    (V.find (Term.App ("test_value_probe", [ Term.Int 43 ])) = None)
+
+let test_of_int () =
+  let v = V.intern (Term.Sym "test_value_of_int") in
+  Alcotest.(check bool) "of_int (to_int v) = v" true (V.equal (V.of_int (V.to_int v)) v);
+  Alcotest.(check bool)
+    "out-of-range rejected" true
+    (try
+       ignore (V.of_int (V.pool_size ()));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_tuple_roundtrip =
+  qtest ~count:200 "Tuple.of_list round-trips"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 4) gen_ground_term)
+    (fun ts ->
+      List.equal Term.equal (Engine.Tuple.to_list (Engine.Tuple.of_list ts)) ts)
+
+let suite =
+  [
+    prop_roundtrip;
+    prop_dedup;
+    prop_injective;
+    prop_structural_order;
+    Alcotest.test_case "arithmetic normalized" `Quick test_arith_normalized;
+    Alcotest.test_case "non-ground rejected" `Quick test_non_ground_rejected;
+    Alcotest.test_case "find is non-inserting" `Quick test_find;
+    Alcotest.test_case "of_int bounds" `Quick test_of_int;
+    prop_tuple_roundtrip;
+  ]

@@ -48,7 +48,7 @@ let test_same_generation_semantics () =
   in
   List.iter
     (fun t ->
-      match Term.to_string t.(1) with
+      match Term.to_string (Engine.Value.extern t.(1)) with
       | s when String.length s > 5 ->
         Alcotest.(check char) "same level" '0' s.[String.length s - 1]
       | s -> Alcotest.failf "unexpected node %s" s)
