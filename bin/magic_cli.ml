@@ -238,10 +238,20 @@ let method_conv =
   in
   Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Evaluate semi-naive bottom-up methods on a pool of $(docv) OCaml \
+              domains (default 1: fully sequential). Answers and statistics are \
+              identical at any value.")
+
 let eval_cmd =
-  let run file (name, method_) max_facts json =
+  let run file (name, method_) max_facts jobs json =
     let program, query, edb = load file in
-    let r, time_s = timed (fun () -> C.Rewrite.run ~max_facts method_ program query ~edb) in
+    let r, time_s =
+      timed (fun () -> C.Rewrite.run ~max_facts ~jobs method_ program query ~edb)
+    in
     if json then
       Fmt.pr "%s@."
         (Engine.Json_out.result_row
@@ -270,7 +280,10 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate the query with one method and print the answers.")
-    (T.app (T.app (T.app (T.app (T.const run) file_arg) method_arg) max_facts_arg) json_arg)
+    (T.app
+       (T.app (T.app (T.app (T.app (T.const run) file_arg) method_arg) max_facts_arg)
+          jobs_arg)
+       json_arg)
 
 let explain_cmd =
   let run file (_name, method_) fact_str =

@@ -47,11 +47,16 @@ type result = {
 val run :
   ?max_facts:int ->
   ?max_iterations:int ->
+  ?jobs:int ->
   method_ ->
   Program.t ->
   Atom.t ->
   edb:Engine.Database.t ->
   result
+(** [jobs > 1] evaluates the semi-naive bottom-up methods ([Original
+    `Seminaive] and every [Rewritten_bottom_up]) on a pool of that many
+    OCaml domains ({!Engine.Par_eval}), with identical answers and
+    statistics; the other methods ignore it. *)
 
 val methods : (string * method_) list
 (** Named methods for CLIs and benches: naive, seminaive, sld, tabled,

@@ -50,13 +50,17 @@ val run :
   ?engine:[ `Naive | `Seminaive | `Seminaive_reference ] ->
   ?max_iterations:int ->
   ?max_facts:int ->
+  ?jobs:int ->
   t ->
   edb:Engine.Database.t ->
   Engine.Eval.outcome
 (** Evaluate the rewritten program bottom-up: the seeds are added to a
     copy of the EDB and the program is run to fixpoint (default
     semi-naive; [`Seminaive_reference] is the uncompiled seed engine,
-    kept for differential testing and before/after benchmarks). *)
+    kept for differential testing and before/after benchmarks).
+    [jobs > 1] runs the semi-naive engine on a pool of that many OCaml
+    domains ({!Engine.Par_eval}); it is ignored by the other engines,
+    which have no parallel implementation. *)
 
 val answers : t -> Engine.Eval.outcome -> Engine.Tuple.t list
 (** Answer tuples for the query: facts of the query's (indexed) predicate

@@ -1,0 +1,430 @@
+(* Parallel semi-naive evaluation on OCaml 5 domains.
+
+   The paper factors evaluation into "sips + control strategy" and
+   leaves the control strategy open; this module parallelizes ours.  The
+   unit of parallelism is the semi-naive round: within a round, every
+   delta instance's scan of its delta range [\[o, d)] is partitioned into
+   stamp-range chunks, and the chunks are fanned out over a fixed pool
+   of domains.  Each worker runs the read-only fast executor
+   ({!Plan.run_fast}) over frozen stamp-range views and accumulates its
+   derived head tuples in a per-task buffer; after the barrier, a single
+   merge step on the main domain deduplicates and inserts them.
+
+   The design keeps every shared structure single-writer, so no existing
+   data structure grows a lock:
+
+   - {b Freeze.}  Workers only run between two merge steps.  All views
+     they read were fixed (as plain [lo]/[hi] integers) before the
+     fan-out, all lazy indexes their probes could create were built
+     up front ({!Plan.prepare_indexes}), and nothing writes a relation,
+     the stamp tables or the index buckets while they run.
+   - {b No interning off the main domain.}  The fast executor interns
+     nothing: its key constants were interned at compile time and every
+     other value it touches comes from stored tuples.  Rule instances
+     the fast executor cannot model (builtins, negation, arithmetic,
+     dynamic heads) run on the main domain — concurrently with the
+     workers, but buffered just like them — so the global {!Value} pool
+     and every {!Ttbl} only ever see writes from one domain.
+   - {b Deterministic merge.}  Chunks are merged in creation order and
+     each buffer in derivation order, so insertion stamps — and with
+     them the delta iteration order of every later round — do not depend
+     on scheduling.  Two runs at any jobs count produce identical
+     databases and identical statistics.
+
+   Statistics discipline: each task carries its own {!Stats.t} (bumped
+   unsynchronized by its worker) and the barrier absorbs them into the
+   run's stats ({!Stats.absorb}).  A chunked scan probes its first step
+   once per chunk where the sequential engine probes once per instance,
+   so every non-first chunk's count is corrected by one at the merge —
+   the parallel engine reports exactly the sequential engine's counters,
+   which the differential tests assert. *)
+
+open Datalog
+module I = Eval.Internal
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed work-stealing pool: batches of tasks are published under the
+   mutex, workers (and the main domain, which participates) claim the
+   next index, and the publisher waits until every task of the batch has
+   finished — the barrier the merge step requires.  The pool is created
+   once per evaluation and reused across all rounds of all strata;
+   spawning domains per round would dominate small fixpoints. *)
+type pool = {
+  jobs : int;  (* total evaluating domains, including the main one *)
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when tasks are published or on stop *)
+  idle : Condition.t;  (* signalled when the last task of a batch ends *)
+  mutable tasks : (unit -> unit) array;
+  mutable next : int;  (* next unclaimed task index *)
+  mutable unfinished : int;  (* claimed-or-unclaimed tasks still pending *)
+  mutable stop : bool;
+  mutable failure : exn option;  (* first exception raised by a task *)
+  mutable domains : unit Domain.t list;
+}
+
+let record_failure pool e =
+  Mutex.lock pool.mutex;
+  if pool.failure = None then pool.failure <- Some e;
+  Mutex.unlock pool.mutex
+
+(* claim and run one task; [true] if a task was run *)
+let try_run_one pool =
+  Mutex.lock pool.mutex;
+  if pool.next < Array.length pool.tasks then begin
+    let task = pool.tasks.(pool.next) in
+    pool.next <- pool.next + 1;
+    Mutex.unlock pool.mutex;
+    (try task () with e -> record_failure pool e);
+    Mutex.lock pool.mutex;
+    pool.unfinished <- pool.unfinished - 1;
+    if pool.unfinished = 0 then Condition.signal pool.idle;
+    Mutex.unlock pool.mutex;
+    true
+  end
+  else begin
+    Mutex.unlock pool.mutex;
+    false
+  end
+
+let create_pool jobs =
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      tasks = [||];
+      next = 0;
+      unfinished = 0;
+      stop = false;
+      failure = None;
+      domains = [];
+    }
+  in
+  let rec worker () =
+    Mutex.lock pool.mutex;
+    while pool.next >= Array.length pool.tasks && not pool.stop do
+      Condition.wait pool.work pool.mutex
+    done;
+    let stop = pool.stop in
+    Mutex.unlock pool.mutex;
+    if not stop then begin
+      ignore (try_run_one pool);
+      worker ()
+    end
+  in
+  pool.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn worker);
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+(* Publish [tasks], run [before] on the main domain while the workers
+   drain the queue (the main-domain share of a round: the buffered
+   generic instances), then help drain it and wait for the barrier.
+   Exceptions — from [before], or the first one any task raised — are
+   re-raised only after the barrier, so no caller ever mutates shared
+   state while a worker may still be reading it. *)
+let run_batch pool ?(before = ignore) tasks =
+  Mutex.lock pool.mutex;
+  pool.tasks <- tasks;
+  pool.next <- 0;
+  pool.unfinished <- Array.length tasks;
+  pool.failure <- None;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  let before_exn = (try before (); None with e -> Some e) in
+  while try_run_one pool do
+    ()
+  done;
+  Mutex.lock pool.mutex;
+  while pool.unfinished > 0 do
+    Condition.wait pool.idle pool.mutex
+  done;
+  let task_exn = pool.failure in
+  pool.tasks <- [||];
+  pool.next <- 0;
+  pool.failure <- None;
+  Mutex.unlock pool.mutex;
+  match (before_exn, task_exn) with
+  | Some e, _ | None, Some e -> raise e
+  | None, None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Round work items                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One stamp-range chunk of one delta instance's scan.  Everything a
+   worker touches is private to the chunk: the sources are plain frozen
+   views, the stats record is its own, and the fast executor allocates
+   its scratch per run. *)
+type chunk = {
+  cfast : Plan.fast;
+  csrc : Plan.view list array;  (* per body position; delta narrowed *)
+  cfirst : bool;  (* first chunk: keeps the instance's step-0 probe *)
+  cstats : Stats.t;  (* per-task counters, absorbed at the barrier *)
+  chead : Relation.t;  (* resolved on the main domain before fan-out *)
+  chead_sym : Symbol.t;
+  mutable cderived : Tuple.t list;  (* newest first *)
+}
+
+let exec_chunk c =
+  let t0 = Unix.gettimeofday () in
+  Plan.run_fast ~stats:c.cstats
+    ~source:(fun lit _ -> c.csrc.(lit))
+    ~on_fact:(fun _ tuple -> c.cderived <- tuple :: c.cderived)
+    c.cfast;
+  c.cstats.Stats.par_busy_s <- Unix.gettimeofday () -. t0
+
+(* A rule instance the fast executor cannot model: runs on the main
+   domain during the fan-out (it may intern; the main domain is the
+   pool's single writer), buffered like a chunk and merged after the
+   barrier so it never inserts while workers read. *)
+type slow = {
+  sinstance : Plan.instance;
+  ssrc : Plan.view list array;
+  mutable sderived : (Symbol.t * Tuple.t) list;  (* newest first *)
+  srecord : Symbol.t -> Tuple.t -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Stratum evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Same watermark discipline as the sequential plan engine
+   ({!Eval.seminaive}): for each stratum-head predicate, [o] and [d]
+   partition its insertion log into old [\[0, o)], delta [\[o, d)] and
+   new [\[0, d)]; in-round insertions land beyond [d] and rotation ends
+   the round. *)
+let run_stratum ~pool ~chunk_size ~stats ~budget db rules =
+  let plans = Plan.compile_stratum rules in
+  let marks =
+    List.map
+      (fun sym ->
+        let rel = Database.relation db sym in
+        (sym, rel, ref 0, ref (Relation.size rel)))
+      (List.sort_uniq Symbol.compare
+         (List.map (fun r -> Atom.symbol r.Rule.head) rules))
+  in
+  let mark_of sym = List.find_opt (fun (s, _, _, _) -> Symbol.equal s sym) marks in
+  let has_delta () = List.exists (fun (_, _, o, d) -> !o <> !d) marks in
+  let rotate () =
+    List.iter (fun (_, rel, o, d) -> o := !d; d := Relation.size rel) marks
+  in
+  let db_src = Plan.db_source db in
+  let recorder plan =
+    let hsym = Atom.symbol plan.Plan.rule.Rule.head in
+    let hrel = Database.relation db hsym in
+    fun sym tuple ->
+      let is_new =
+        if Symbol.equal sym hsym then Relation.add hrel tuple
+        else Database.add_tuple db sym tuple
+      in
+      Stats.record_fact stats sym ~is_new;
+      if is_new then I.spend_fact budget
+  in
+  let recorders = List.map (fun plan -> (plan, recorder plan)) plans in
+  (* the per-round sources of one delta instance, with watermarks
+     resolved to plain integers — the frozen views of a fan-out *)
+  let sources_for plan dpos =
+    let body = Array.of_list plan.Plan.rule.Rule.body in
+    Array.mapi
+      (fun lit lm ->
+        match lm with
+        | Rule.Pos a when not (Atom.is_builtin a) -> begin
+          let sym = Atom.symbol a in
+          match mark_of sym with
+          | Some (_, rel, o, d) ->
+            if lit = dpos then [ { Plan.rel; lo = !o; hi = !d } ]
+            else if lit < dpos then [ { Plan.rel; lo = 0; hi = !o } ]
+            else [ { Plan.rel; lo = 0; hi = !d } ]
+          | None -> db_src lit sym
+        end
+        | Rule.Pos _ | Rule.Neg _ -> [])
+      body
+  in
+  (* One semi-naive round after round 0.  Sequential when the pool is
+     absent; otherwise chunk every fast instance, fan the chunks out,
+     run the rest on the main domain, and merge single-writer. *)
+  let round () =
+    match pool with
+    | None ->
+      List.iter
+        (fun (plan, record) ->
+          List.iter
+            (fun (dpos, instance) ->
+              let srcs = sources_for plan dpos in
+              let delta_empty =
+                List.for_all (fun v -> v.Plan.lo >= v.Plan.hi) srcs.(dpos)
+              in
+              if not delta_empty then
+                Plan.run ~stats
+                  ~source:(fun lit _ -> srcs.(lit))
+                  ~neg_source:db_src ~on_fact:record instance)
+            plan.Plan.delta)
+        recorders
+    | Some pool ->
+      let chunks = ref [] and slows = ref [] in
+      List.iter
+        (fun (plan, record) ->
+          List.iter
+            (fun (dpos, instance) ->
+              let srcs = sources_for plan dpos in
+              let delta_empty =
+                List.for_all (fun v -> v.Plan.lo >= v.Plan.hi) srcs.(dpos)
+              in
+              if not delta_empty then
+                match instance.Plan.fast with
+                | Some fast ->
+                  let source lit _ = srcs.(lit) in
+                  Plan.prepare_indexes ~source fast;
+                  let hsym = Plan.fast_head_symbol fast in
+                  let hrel = Database.relation db hsym in
+                  let v = List.hd srcs.(dpos) in
+                  let range = v.Plan.hi - v.Plan.lo in
+                  let size =
+                    max chunk_size ((range + (2 * pool.jobs) - 1) / (2 * pool.jobs))
+                  in
+                  let lo = ref v.Plan.lo in
+                  while !lo < v.Plan.hi do
+                    let hi = min v.Plan.hi (!lo + size) in
+                    let csrc = Array.copy srcs in
+                    csrc.(dpos) <- [ { Plan.rel = v.Plan.rel; lo = !lo; hi } ];
+                    let cstats = Stats.create () in
+                    cstats.Stats.par_tasks <- 1;
+                    chunks :=
+                      {
+                        cfast = fast;
+                        csrc;
+                        cfirst = !lo = v.Plan.lo;
+                        cstats;
+                        chead = hrel;
+                        chead_sym = hsym;
+                        cderived = [];
+                      }
+                      :: !chunks;
+                    lo := hi
+                  done
+                | None ->
+                  slows :=
+                    { sinstance = instance; ssrc = srcs; sderived = []; srecord = record }
+                    :: !slows)
+            plan.Plan.delta)
+        recorders;
+      let chunks = Array.of_list (List.rev !chunks) in
+      let slows = List.rev !slows in
+      let run_slow buffered =
+        List.iter
+          (fun s ->
+            let on_fact =
+              if buffered then fun sym tuple -> s.sderived <- (sym, tuple) :: s.sderived
+              else s.srecord
+            in
+            Plan.run ~stats
+              ~source:(fun lit _ -> s.ssrc.(lit))
+              ~neg_source:db_src ~on_fact s.sinstance)
+          slows
+      in
+      if Array.length chunks = 0 then run_slow false
+      else begin
+        stats.Stats.par_rounds <- stats.Stats.par_rounds + 1;
+        let t0 = Unix.gettimeofday () in
+        run_batch pool
+          ~before:(fun () -> run_slow true)
+          (Array.map (fun c () -> exec_chunk c) chunks);
+        (* single-writer merge, in deterministic (creation/derivation)
+           order: insertion stamps never depend on scheduling *)
+        Array.iter
+          (fun c ->
+            if not c.cfirst then
+              c.cstats.Stats.probes <- c.cstats.Stats.probes - 1;
+            Stats.absorb ~into:stats c.cstats;
+            List.iter
+              (fun tuple ->
+                let is_new = Relation.add c.chead tuple in
+                Stats.record_fact stats c.chead_sym ~is_new;
+                if is_new then I.spend_fact budget)
+              (List.rev c.cderived))
+          chunks;
+        List.iter
+          (fun s -> List.iter (fun (sym, t) -> s.srecord sym t) (List.rev s.sderived))
+          slows;
+        stats.Stats.par_wall_s <-
+          stats.Stats.par_wall_s +. (Unix.gettimeofday () -. t0)
+      end
+  in
+  let diverged = ref false in
+  if I.exhausted budget then diverged := true
+  else begin
+    try
+      (* round 0: all rules fire with their base instance against the
+         database as-is, on the main domain only — identical to the
+         sequential engine (the EDB and lower strata play the delta) *)
+      I.start_round ~stats ~budget;
+      let source0 lit sym =
+        match mark_of sym with
+        | Some (_, rel, _, d) -> [ { Plan.rel; lo = 0; hi = !d } ]
+        | None -> db_src lit sym
+      in
+      List.iter
+        (fun (plan, record) ->
+          Plan.run ~stats ~source:source0 ~neg_source:db_src ~on_fact:record
+            plan.Plan.base)
+        recorders;
+      rotate ();
+      let continue = ref (has_delta ()) in
+      while !continue do
+        if I.exhausted budget then begin
+          diverged := true;
+          continue := false
+        end
+        else begin
+          I.start_round ~stats ~budget;
+          round ();
+          rotate ();
+          if not (has_delta ()) then continue := false
+        end
+      done
+    with I.Budget_exhausted | Term.Arithmetic_overflow ->
+      (* every recorded fact is already in [db]; nothing to repair *)
+      diverged := true
+  end;
+  !diverged
+
+(* ------------------------------------------------------------------ *)
+
+let default_chunk = 256
+
+let seminaive ?max_iterations ?max_facts ?(jobs = 1) ?(chunk = default_chunk)
+    program ~edb =
+  let jobs = max 1 jobs in
+  let chunk_size = max 1 chunk in
+  let stats = Stats.create () in
+  let budget = I.make_budget ?max_iterations ?max_facts () in
+  let db = Database.copy edb in
+  let pool = if jobs > 1 then Some (create_pool jobs) else None in
+  if jobs > 1 then stats.Stats.par_jobs <- jobs;
+  let eval () =
+    List.fold_left
+      (fun div rules ->
+        let d =
+          try run_stratum ~pool ~chunk_size ~stats ~budget db rules
+          with I.Budget_exhausted | Term.Arithmetic_overflow -> true
+        in
+        div || d)
+      false (I.strata program)
+  in
+  let diverged =
+    match pool with
+    | None -> eval ()
+    | Some p -> Fun.protect ~finally:(fun () -> shutdown p) eval
+  in
+  { Eval.db; stats; diverged }

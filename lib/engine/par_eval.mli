@@ -1,0 +1,47 @@
+(** Parallel semi-naive evaluation on OCaml 5 domains.
+
+    Same semantics, same answers and same statistics as the sequential
+    plan engine ({!Eval.seminaive}); the parallelism is confined to the
+    scan phase of each fixpoint round.  Within a round, every delta
+    instance's scan of its delta stamp range is partitioned into chunks
+    fanned out over a fixed pool of domains.  Workers run the read-only
+    fast executor over frozen stamp-range views and buffer their derived
+    tuples; a single merge step on the main domain then interns,
+    deduplicates and inserts, so the global {!Value} pool, the
+    {!Ttbl}-backed relations and the index buckets remain single-writer
+    and lock-free.  Rule instances outside the fast executor's fragment
+    (builtins, negation, arithmetic, dynamic heads) run buffered on the
+    main domain, concurrently with the workers.
+
+    Chunks are merged in creation order, so insertion stamps — and the
+    delta iteration order of every later round — do not depend on
+    scheduling: two runs with any [jobs] value produce identical
+    databases and identical statistics (the per-chunk duplicate of the
+    first join probe is corrected at the barrier).  The differential
+    test suite asserts both properties against the sequential engines. *)
+
+open Datalog
+
+val seminaive :
+  ?max_iterations:int ->
+  ?max_facts:int ->
+  ?jobs:int ->
+  ?chunk:int ->
+  Program.t ->
+  edb:Database.t ->
+  Eval.outcome
+(** [seminaive ~jobs p ~edb] evaluates [p] bottom-up over a pool of
+    [jobs] domains ([jobs - 1] spawned workers plus the calling domain,
+    which both feeds the pool and evaluates).  [jobs <= 1] (the default)
+    runs the whole fixpoint on the calling domain and is observationally
+    identical to {!Eval.seminaive}.
+
+    [chunk] (default 256) is the minimum number of delta stamps per
+    fan-out task; scans are split into at most [2 * jobs] chunks of at
+    least this size, so small rounds are not shredded into tasks whose
+    scheduling costs more than their scan.  Tests pass [~chunk:1] to
+    force multi-chunk rounds on small data.
+
+    The outcome's {!Stats.t} carries the pool width and fan-out
+    accounting in its [par_*] fields; all other counters equal the
+    sequential engine's. *)

@@ -42,16 +42,26 @@ type fscan = {
   fsym : Symbol.t;
   fpattern : bool array;
   fkey : fslot array;
-  fkeybuf : Tuple.t;
-      (** scratch buffer the key slots are evaluated into; index lookups
-          only read the key, so one buffer per scan can be reused across
-          probes (head tuples, which are retained, are still allocated
-          fresh) *)
   ffree : faction array;
   fall_bound : bool;
 }
 
-type fast = { fsteps : fscan array; fhead_sym : Symbol.t; fhead : fslot array; fvars : int }
+(* The compiled form is immutable: all executor scratch (the env array
+   and the per-scan key buffers the slots are evaluated into) is
+   allocated per {!run_fast} call, a handful of small arrays per rule
+   firing.  Probes within a run still reuse the same buffers, so the
+   inner join loop stays allocation-free — but two executors of the same
+   instance, whether nested (an [on_fact] that fires another run) or on
+   different domains, can never corrupt each other's keys.  [fzero] is a
+   pre-interned filler for those scratch arrays: interning at run time
+   would write the global value pool, which parallel workers must not. *)
+type fast = {
+  fsteps : fscan array;
+  fhead_sym : Symbol.t;
+  fhead : fslot array;
+  fvars : int;
+  fzero : Value.t;
+}
 
 type instance = { steps : step array; head : emit; fast : fast option }
 
@@ -239,7 +249,6 @@ let fast_of_instance steps head =
               fsym = s.sym;
               fpattern = s.pattern;
               fkey;
-              fkeybuf = Array.make (Array.length fkey) (Value.intern (Term.Int 0));
               ffree;
               fall_bound = s.all_bound;
             }
@@ -248,7 +257,14 @@ let fast_of_instance steps head =
     in
     match head with
     | Direct (sym, hslots) ->
-      Some { fsteps; fhead_sym = sym; fhead = Array.map conv_key hslots; fvars = !fvars }
+      Some
+        {
+          fsteps;
+          fhead_sym = sym;
+          fhead = Array.map conv_key hslots;
+          fvars = !fvars;
+          fzero = Value.intern (Term.Int 0);
+        }
     | Dynamic _ -> None
   with Unsupported -> None
 
@@ -376,7 +392,10 @@ let rec match_free free tuple subst =
   end
 
 let run_fast ?stats ~source ~on_fact f =
-  let env = Array.make (max 1 f.fvars) (Value.intern (Term.Int 0)) in
+  let env = Array.make (max 1 f.fvars) f.fzero in
+  let keybufs =
+    Array.map (fun s -> Array.make (Array.length s.fkey) f.fzero) f.fsteps
+  in
   let bump =
     match stats with
     | None -> fun () -> ()
@@ -392,7 +411,7 @@ let run_fast ?stats ~source ~on_fact f =
       match source s.flit s.fsym with
       | [] -> ()
       | views ->
-        let key = s.fkeybuf in
+        let key = keybufs.(i) in
         for j = 0 to Array.length s.fkey - 1 do
           key.(j) <- (match s.fkey.(j) with Fconst v -> v | Fbound w -> env.(w))
         done;
@@ -499,6 +518,23 @@ let run ?stats ~source ~neg_source ~on_fact instance =
 
 let head_symbol instance =
   match instance.head with Direct (sym, _) -> Some sym | Dynamic _ -> None
+
+let fast_head_symbol f = f.fhead_sym
+
+(* Build, on the calling domain, every index a read-only execution of
+   [f] over [source] could otherwise create lazily: indexes materialize
+   on first probe ({!Relation.iter_matching_in}), which is a write, and
+   the parallel engine hands the same frozen views to several domains at
+   once.  Fully-bound steps probe the stamp table, which always exists,
+   and all-free patterns scan the log — neither needs an index. *)
+let prepare_indexes ~source f =
+  Array.iter
+    (fun s ->
+      if not (s.fall_bound || Array.for_all not s.fpattern) then
+        List.iter
+          (fun v -> Relation.prepare_index v.rel s.fpattern)
+          (source s.flit s.fsym))
+    f.fsteps
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing                                                     *)

@@ -1,0 +1,233 @@
+(* Differential and stress tests of the parallel semi-naive engine
+   (Par_eval).  The engine's contract is strict: at every jobs count it
+   must produce the same database, the same answers and the same core
+   statistics as the sequential plan engine — and, extensionally, as the
+   uncompiled reference engine — on arbitrary programs and rewrites.
+   Scheduling must be invisible: repeated parallel runs are bit-for-bit
+   deterministic.  All parallel runs here force [~chunk:1] so that even
+   the tiny random workloads fan out into many tasks per round. *)
+
+open Datalog
+open Helpers
+module C = Magic_core
+module E = Engine
+module G = Workload.Generate
+module P = Workload.Programs
+
+let jobs_sweep = [ 1; 2; 4; 8 ]
+
+(* the counters both engines must agree on exactly; the par_* fields are
+   intentionally excluded (they describe the fan-out itself) *)
+let core_sig (s : E.Stats.t) =
+  ( s.E.Stats.iterations,
+    s.E.Stats.firings,
+    s.E.Stats.facts,
+    s.E.Stats.rederivations,
+    s.E.Stats.probes,
+    s.E.Stats.subqueries )
+
+(* everything the engines must agree on: divergence, the derived fact
+   set, and per-predicate fact counts in the database and the stats *)
+let db_signature (out : E.Eval.outcome) =
+  let db = out.E.Eval.db in
+  let syms =
+    List.filter
+      (fun s -> E.Database.cardinal db s > 0)
+      (List.sort Symbol.compare (E.Database.symbols db))
+  in
+  ( out.E.Eval.diverged,
+    List.sort Atom.compare (E.Database.all_facts db),
+    List.map
+      (fun s -> (s, E.Database.cardinal db s, E.Stats.facts_for out.E.Eval.stats s))
+      syms )
+
+(* ------------------------------------------------------------------ *)
+(* Random programs: parallel = sequential plan = uncompiled reference  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_par_equals_engines =
+  qtest ~count:50 "par(jobs in {1,2,4,8}) = plan = reference on random programs"
+    gen_random_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = E.Database.of_facts facts in
+      let seq = E.Eval.seminaive p ~edb in
+      let refr = E.Eval.seminaive_reference p ~edb in
+      db_signature refr = db_signature seq
+      && List.for_all
+           (fun jobs ->
+             let par = E.Par_eval.seminaive ~jobs ~chunk:1 p ~edb in
+             db_signature par = db_signature seq
+             && core_sig par.E.Eval.stats = core_sig seq.E.Eval.stats)
+           jobs_sweep)
+
+(* ------------------------------------------------------------------ *)
+(* Random programs x the four rewritings.  The counting rewrites can   *)
+(* diverge (cyclic random data) or overflow; a diverged run's database *)
+(* is cut off mid-round at an order-dependent prefix, so engines must  *)
+(* agree on the divergence itself but are compared extensionally only  *)
+(* on completed runs.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rewritings = [ C.Rewrite.GMS; C.Rewrite.GSMS; C.Rewrite.GC; C.Rewrite.GSC ]
+
+let seeded_edb rw edb =
+  let edb' = E.Database.copy edb in
+  List.iter (fun seed -> ignore (E.Database.add_fact edb' seed)) rw.C.Rewritten.seeds;
+  edb'
+
+let verdict out =
+  if out.E.Eval.diverged then `Diverged
+  else `Ok (db_signature out, core_sig out.E.Eval.stats)
+
+let prop_par_on_rewrites =
+  qtest ~count:30 "par = plan on GMS/GSMS/GC/GSC rewrites of random programs"
+    gen_random_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = E.Database.of_facts facts in
+      let q = Atom.make "i0" [ Term.Sym "n0"; Term.Var "Y" ] in
+      List.for_all
+        (fun rewriting ->
+          match C.Rewrite.rewrite rewriting p q with
+          | exception Invalid_argument _ -> true
+          | rw ->
+            let edb' = seeded_edb rw edb in
+            let run eval =
+              match eval () with
+              | out -> verdict out
+              | exception E.Solve.Unsafe _ -> `Unsafe
+            in
+            let seq =
+              run (fun () ->
+                  E.Eval.seminaive ~max_facts:50_000 rw.C.Rewritten.program ~edb:edb')
+            in
+            List.for_all
+              (fun jobs ->
+                seq
+                = run (fun () ->
+                      E.Par_eval.seminaive ~max_facts:50_000 ~jobs ~chunk:1
+                        rw.C.Rewritten.program ~edb:edb'))
+              jobs_sweep)
+        rewritings)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism stress: repeated parallel runs of fixed workloads are   *)
+(* identical to each other and to the sequential engine, counters      *)
+(* included.  MAGIC_PAR_JOBS overrides the pool width (CI sets 4).     *)
+(* ------------------------------------------------------------------ *)
+
+let stress_jobs =
+  match Option.bind (Sys.getenv_opt "MAGIC_PAR_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> 4
+
+let stress_workloads () =
+  let chain_q = P.ancestor_query (G.node "n" 0) in
+  let chain_rw = C.Rewrite.rewrite C.Rewrite.GMS P.ancestor chain_q in
+  let tree = G.db (G.tree ~pred:"edge" ~branching:3 ~depth:5 ()) in
+  let graph = G.db (G.random_graph ~pred:"edge" ~nodes:60 ~edges:110 ~seed:23 ()) in
+  [
+    ( "chain gms",
+      chain_rw.C.Rewritten.program,
+      seeded_edb chain_rw (G.db (G.chain ~pred:"p" 120)) );
+    ("tree tc", P.transitive_closure, tree);
+    ("random-graph tc", P.transitive_closure, graph);
+  ]
+
+let test_stress_determinism () =
+  List.iter
+    (fun (name, p, edb) ->
+      let seq = E.Eval.seminaive p ~edb in
+      let expected = (db_signature seq, core_sig seq.E.Eval.stats) in
+      for i = 1 to 20 do
+        let par = E.Par_eval.seminaive ~jobs:stress_jobs ~chunk:1 p ~edb in
+        if (db_signature par, core_sig par.E.Eval.stats) <> expected then
+          Alcotest.failf "%s: parallel run %d diverged from sequential (jobs=%d)"
+            name i stress_jobs
+      done)
+    (stress_workloads ())
+
+(* ------------------------------------------------------------------ *)
+(* Targeted cases the random programs underexercise                    *)
+(* ------------------------------------------------------------------ *)
+
+(* stratified negation and builtins force the buffered main-domain path
+   (no fast form), interleaved with fanned-out positive rules *)
+let test_negation_and_builtins_parallel () =
+  let src =
+    "t(X, Y) :- e(X, Y).\n\
+     t(X, Y) :- e(X, Z), t(Z, Y).\n\
+     blocked(X, Y) :- b(X, Y).\n\
+     open(X, Y) :- t(X, Y), not blocked(X, Y).\n\
+     big(X, Y) :- t(X, Y), X < Y.\n\
+     ?- open(?, ?)."
+  in
+  let p, _, edb0 = load src in
+  let facts =
+    List.init 40 (fun i -> Atom.make "e" [ Term.Int i; Term.Int (i + 1) ])
+    @ [ Helpers.atom "b(0, 3)"; Helpers.atom "b(1, 2)" ]
+  in
+  List.iter (fun a -> ignore (E.Database.add_fact edb0 a)) facts;
+  let seq = E.Eval.seminaive p ~edb:edb0 in
+  List.iter
+    (fun jobs ->
+      let par = E.Par_eval.seminaive ~jobs ~chunk:1 p ~edb:edb0 in
+      Alcotest.(check bool)
+        (Fmt.str "negation+builtins jobs=%d matches sequential" jobs)
+        true
+        (db_signature par = db_signature seq
+        && core_sig par.E.Eval.stats = core_sig seq.E.Eval.stats))
+    jobs_sweep
+
+(* budget exhaustion must be flagged in the same round at every jobs
+   count, and the diverged database must respect the fact budget *)
+let test_budget_parallel () =
+  let edb = G.db (G.cycle ~pred:"edge" 12) in
+  let seq = E.Eval.seminaive ~max_facts:40 P.transitive_closure ~edb in
+  Alcotest.(check bool) "sequential run exhausts the budget" true seq.E.Eval.diverged;
+  List.iter
+    (fun jobs ->
+      let par =
+        E.Par_eval.seminaive ~max_facts:40 ~jobs ~chunk:1 P.transitive_closure ~edb
+      in
+      Alcotest.(check bool) (Fmt.str "jobs=%d diverges too" jobs) true
+        par.E.Eval.diverged;
+      Alcotest.(check int)
+        (Fmt.str "jobs=%d spends exactly the budget" jobs)
+        seq.E.Eval.stats.E.Stats.facts par.E.Eval.stats.E.Stats.facts)
+    jobs_sweep;
+  (* zero-iteration budget: nothing runs, nothing is derived *)
+  let par = E.Par_eval.seminaive ~max_iterations:0 ~jobs:4 P.transitive_closure ~edb in
+  Alcotest.(check bool) "max_iterations:0 diverges" true par.E.Eval.diverged;
+  Alcotest.(check int) "max_iterations:0 derives nothing" 0
+    par.E.Eval.stats.E.Stats.facts
+
+(* the par_* accounting: a parallel run reports its pool width and task
+   counts; a jobs=1 run reports none (it is the sequential engine) *)
+let test_par_accounting () =
+  let edb = G.db (G.chain ~pred:"edge" 80) in
+  let one = E.Par_eval.seminaive ~jobs:1 ~chunk:1 P.transitive_closure ~edb in
+  Alcotest.(check int) "jobs=1 reports no pool" 0 one.E.Eval.stats.E.Stats.par_jobs;
+  Alcotest.(check int) "jobs=1 runs no tasks" 0 one.E.Eval.stats.E.Stats.par_tasks;
+  let four = E.Par_eval.seminaive ~jobs:4 ~chunk:1 P.transitive_closure ~edb in
+  Alcotest.(check int) "jobs=4 reports its pool" 4 four.E.Eval.stats.E.Stats.par_jobs;
+  Alcotest.(check bool) "jobs=4 ran fanned-out rounds" true
+    (four.E.Eval.stats.E.Stats.par_rounds > 0
+    && four.E.Eval.stats.E.Stats.par_tasks >= four.E.Eval.stats.E.Stats.par_rounds);
+  Alcotest.(check bool) "busy time was accumulated" true
+    (four.E.Eval.stats.E.Stats.par_busy_s >= 0.
+    && four.E.Eval.stats.E.Stats.par_wall_s >= 0.)
+
+let suite =
+  [
+    prop_par_equals_engines;
+    prop_par_on_rewrites;
+    Alcotest.test_case
+      (Fmt.str "determinism stress (20 runs, jobs=%d)" stress_jobs)
+      `Quick test_stress_determinism;
+    Alcotest.test_case "negation and builtins in parallel" `Quick
+      test_negation_and_builtins_parallel;
+    Alcotest.test_case "budget exhaustion in parallel" `Quick test_budget_parallel;
+    Alcotest.test_case "par_* accounting" `Quick test_par_accounting;
+  ]

@@ -51,6 +51,94 @@ let test_merge_sums_maintenance_counters () =
   Alcotest.(check int) "rederived" 1 m.S.rederived;
   Alcotest.(check int) "delta firings" 15 m.S.delta_firings
 
+(* every counter, the parallel fan-out fields included, plus one
+   per-predicate count — the full observable state of a Stats.t *)
+let stats_tuple s =
+  ( ( s.S.iterations,
+      s.S.firings,
+      s.S.facts,
+      s.S.rederivations,
+      s.S.probes,
+      s.S.subqueries ),
+    (s.S.overdeleted, s.S.rederived, s.S.delta_firings),
+    (s.S.par_jobs, s.S.par_rounds, s.S.par_tasks, s.S.par_wall_s, s.S.par_busy_s),
+    S.facts_for s sym )
+
+let fill i =
+  let s = S.create () in
+  s.S.iterations <- i;
+  s.S.probes <- (7 * i) + 1;
+  s.S.subqueries <- i + 2;
+  s.S.overdeleted <- i;
+  s.S.rederived <- 2 * i;
+  s.S.delta_firings <- 3 * i;
+  s.S.par_jobs <- i;
+  s.S.par_rounds <- i + 1;
+  s.S.par_tasks <- 5 * i;
+  s.S.par_wall_s <- 0.25 *. float_of_int i;
+  s.S.par_busy_s <- 0.75 *. float_of_int i;
+  for _ = 1 to i do
+    S.record_fact s sym ~is_new:true
+  done;
+  S.record_fact s sym ~is_new:false;
+  s
+
+(* absorb is the in-place merge the parallel barrier uses: absorbing b
+   into a copy of a must equal merge a b on every field *)
+let test_absorb_equals_merge () =
+  let a = fill 2 and b = fill 5 in
+  let m = S.merge a b in
+  let into = S.merge a (S.create ()) in
+  S.absorb ~into b;
+  Alcotest.(check bool) "absorb ~into:a b = merge a b" true
+    (stats_tuple into = stats_tuple m);
+  (* absorbing must deep-copy per-pred refs, like merge (PR 3 regression) *)
+  S.record_fact b sym ~is_new:true;
+  Alcotest.(check int) "later recording into b does not leak" 7 (S.facts_for into sym)
+
+(* worker stats arrive at the barrier in scheduling order; the combine
+   must not care: commutative and associative on every field, with
+   par_jobs combining by max (a pool width, not an amount of work) *)
+let test_merge_commutative_associative () =
+  let a = fill 1 and b = fill 3 and c = fill 4 in
+  Alcotest.(check bool) "commutative" true
+    (stats_tuple (S.merge a b) = stats_tuple (S.merge b a));
+  Alcotest.(check bool) "associative" true
+    (stats_tuple (S.merge (S.merge a b) c) = stats_tuple (S.merge a (S.merge b c)));
+  let m = S.merge a c in
+  Alcotest.(check int) "par_jobs combines by max" 4 m.S.par_jobs;
+  Alcotest.(check int) "par_rounds sums" 7 m.S.par_rounds;
+  Alcotest.(check int) "par_tasks sums" 25 m.S.par_tasks;
+  Alcotest.(check (float 1e-9)) "par_wall_s sums" 1.25 m.S.par_wall_s;
+  Alcotest.(check (float 1e-9)) "par_busy_s sums" 3.75 m.S.par_busy_s
+
+(* gc counters are per-domain: a parallel phase's total is the sum of
+   each domain's delta, folded with gc_add from the gc_zero identity *)
+let test_gc_add () =
+  let g1 =
+    {
+      S.minor_words = 10.;
+      major_words = 4.;
+      promoted_words = 2.;
+      minor_collections = 3;
+      major_collections = 1;
+    }
+  and g2 =
+    {
+      S.minor_words = 5.;
+      major_words = 1.;
+      promoted_words = 0.5;
+      minor_collections = 2;
+      major_collections = 0;
+    }
+  in
+  Alcotest.(check bool) "gc_zero is the identity" true (S.gc_add S.gc_zero g1 = g1);
+  let s = S.gc_add g1 g2 in
+  Alcotest.(check bool) "pointwise sum" true
+    (s.S.minor_words = 15. && s.S.major_words = 5. && s.S.promoted_words = 2.5
+   && s.S.minor_collections = 5 && s.S.major_collections = 1);
+  Alcotest.(check bool) "commutative" true (S.gc_add g1 g2 = S.gc_add g2 g1)
+
 let test_engine_counts_are_consistent () =
   (* firings = facts + rederivations for every engine *)
   let p, q, edb =
@@ -111,6 +199,10 @@ let suite =
     Alcotest.test_case "merge never aliases" `Quick test_merge_never_aliases;
     Alcotest.test_case "merge sums maintenance counters" `Quick
       test_merge_sums_maintenance_counters;
+    Alcotest.test_case "absorb equals merge" `Quick test_absorb_equals_merge;
+    Alcotest.test_case "merge commutative and associative" `Quick
+      test_merge_commutative_associative;
+    Alcotest.test_case "gc_add" `Quick test_gc_add;
     Alcotest.test_case "engine consistency" `Quick test_engine_counts_are_consistent;
     Alcotest.test_case "probes skip missing relations" `Quick
       test_probes_skip_missing_relations;
