@@ -51,6 +51,8 @@ val run :
   ?max_iterations:int ->
   ?max_facts:int ->
   ?jobs:int ->
+  ?chunk:int ->
+  ?fallback:int ->
   t ->
   edb:Engine.Database.t ->
   Engine.Eval.outcome
@@ -59,8 +61,10 @@ val run :
     semi-naive; [`Seminaive_reference] is the uncompiled seed engine,
     kept for differential testing and before/after benchmarks).
     [jobs > 1] runs the semi-naive engine on a pool of that many OCaml
-    domains ({!Engine.Par_eval}); it is ignored by the other engines,
-    which have no parallel implementation. *)
+    domains ({!Engine.Par_eval}); [chunk] and [fallback] are its grain
+    knobs (minimum task width and sequential-fallback threshold — see
+    {!Engine.Par_eval.seminaive}).  All three are ignored by the other
+    engines, which have no parallel implementation. *)
 
 val answers : t -> Engine.Eval.outcome -> Engine.Tuple.t list
 (** Answer tuples for the query: facts of the query's (indexed) predicate

@@ -22,6 +22,7 @@ let stats_fields (s : Stats.t) ~time_s =
        [
          field "par_jobs" (string_of_int s.Stats.par_jobs);
          field "par_rounds" (string_of_int s.Stats.par_rounds);
+         field "par_fallback_rounds" (string_of_int s.Stats.par_fallback_rounds);
          field "par_tasks" (string_of_int s.Stats.par_tasks);
          field "par_wall_s" (Fmt.str "%.6f" s.Stats.par_wall_s);
          field "par_busy_s" (Fmt.str "%.6f" s.Stats.par_busy_s);

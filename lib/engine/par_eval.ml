@@ -2,13 +2,28 @@
 
    The paper factors evaluation into "sips + control strategy" and
    leaves the control strategy open; this module parallelizes ours.  The
-   unit of parallelism is the semi-naive round: within a round, every
-   delta instance's scan of its delta range [\[o, d)] is partitioned into
-   stamp-range chunks, and the chunks are fanned out over a fixed pool
-   of domains.  Each worker runs the read-only fast executor
-   ({!Plan.run_fast}) over frozen stamp-range views and accumulates its
-   derived head tuples in a per-task buffer; after the barrier, a single
-   merge step on the main domain deduplicates and inserts them.
+   unit of parallelism is the semi-naive round: the delta scans of every
+   fast (pure-relational) plan instance of the round are packed into one
+   coalesced batch of tasks — rule-instance × stamp-range slices,
+   balanced by total work across the batch rather than divided per
+   instance — and fanned out over a fixed pool of domains.  Each worker
+   runs the read-only fast executor ({!Plan.run_fast}) over frozen
+   stamp-range views and accumulates its derived head tuples in
+   pre-sized per-slice buffers; after the barrier, a single merge step
+   on the main domain deduplicates and inserts them.
+
+   Fan-out has a fixed cost per round (publish, wake, barrier, merge),
+   so rounds whose deltas are narrow — every round of a chain-shaped
+   fixpoint — lose by being parallelized.  A grain controller decides
+   per round: the total delta width across all fast instances is
+   computed before any pool traffic, and when it is below a threshold
+   the round runs sequentially on the main domain exactly like the
+   [jobs = 1] engine.  The threshold is tunable ([?fallback]), and in
+   its default auto mode it is calibrated from the measured cost of an
+   empty fan-out round-trip and then adapted multiplicatively from each
+   fanned round's measured profit (wall vs. summed busy time) — on a
+   host where fan-out never pays, every round degrades to sequential
+   execution after a few probes.
 
    The design keeps every shared structure single-writer, so no existing
    data structure grows a lock:
@@ -25,18 +40,24 @@
      dynamic heads) run on the main domain — concurrently with the
      workers, but buffered just like them — so the global {!Value} pool
      and every {!Ttbl} only ever see writes from one domain.
-   - {b Deterministic merge.}  Chunks are merged in creation order and
-     each buffer in derivation order, so insertion stamps — and with
-     them the delta iteration order of every later round — do not depend
-     on scheduling.  Two runs at any jobs count produce identical
-     databases and identical statistics.
+   - {b Deterministic merge.}  Slices are created in instance order and
+     cut in ascending stamp order, tasks are merged in creation order
+     and each buffer in derivation order, so the merged insertion order
+     is exactly the sequential engine's scan order and never depends on
+     scheduling.  At a fixed fallback threshold, two runs at any jobs
+     count produce identical databases and identical statistics; in
+     auto mode the adaptive threshold may flip a round between fanned
+     and sequential execution across runs, which permutes insertion
+     stamps only within that round — the derived fact sets, per-round
+     deltas and all core counters are still identical.
 
    Statistics discipline: each task carries its own {!Stats.t} (bumped
    unsynchronized by its worker) and the barrier absorbs them into the
-   run's stats ({!Stats.absorb}).  A chunked scan probes its first step
-   once per chunk where the sequential engine probes once per instance,
-   so every non-first chunk's count is corrected by one at the merge —
-   the parallel engine reports exactly the sequential engine's counters,
+   run's stats ({!Stats.absorb}).  A sliced scan probes its first step
+   once per slice where the sequential engine probes once per instance,
+   so every non-first slice's count is corrected by one at the merge
+   (guarded so the correction can never drive a counter negative) — the
+   parallel engine reports exactly the sequential engine's counters,
    which the differential tests assert. *)
 
 open Datalog
@@ -127,6 +148,8 @@ let shutdown pool =
   List.iter Domain.join pool.domains;
   pool.domains <- []
 
+let live_domains pool = List.length pool.domains
+
 (* Publish [tasks], run [before] on the main domain while the workers
    drain the queue (the main-domain share of a round: the buffered
    generic instances), then help drain it and wait for the barrier.
@@ -159,41 +182,244 @@ let run_batch pool ?(before = ignore) tasks =
   | None, None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Grain control                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The controller's decision variable is the round's total delta width
+   (stamps to scan across every fast instance): below [threshold] the
+   round runs sequentially on the main domain with zero pool traffic.
+   [floor]/[ceiling] bound the adaptive threshold; a fixed threshold
+   ([?fallback:(Some n)]) pins all three.
+
+   The pool itself is spawned lazily, on the first round whose width
+   reaches the threshold.  Idle domains are not free: every minor
+   collection synchronizes all domains of the runtime, so a fixpoint
+   that never fans out — a chain-shaped run on a narrow machine — would
+   pay a tax on every allocation just for having spawned workers.
+   Before any pool exists the auto threshold is the static gate
+   [jobs * chunk] (fan-out cannot fill the pool with less than one
+   chunk of work per domain anyway); the first round past the gate
+   spawns the pool, calibrates the threshold from the measured cost of
+   empty fan-out round-trips, and re-decides. *)
+type grain = {
+  mutable threshold : int;
+  mutable floor : int;
+  mutable ceiling : int;
+  adaptive : bool;
+  mutable calibrated : bool;  (* auto mode: threshold is still the static gate *)
+  mutable idle_rounds : int;  (* consecutive fallback rounds with a live pool *)
+}
+
+let auto_floor = 64
+let auto_ceiling = 1 lsl 22
+
+(* A spawned-but-idle pool is not free (minor collections synchronize
+   every domain), so a pool that loses [park_after] consecutive rounds
+   to the fallback is shut down — parked — and respawned only if a
+   round crosses the threshold again.  Feedback doubles the threshold
+   on every losing fan-out, so a workload that keeps losing parks its
+   pool within a few rounds and runs the rest domain-free. *)
+let park_after = 8
+
+(* Auto-calibration: time a handful of empty publish/drain/barrier
+   round-trips — the irreducible synchronization cost every fanned
+   round pays — and convert it into a delta width with an assumed scan
+   throughput.  The constant only has to land the initial threshold
+   within an order of magnitude: the per-round feedback below corrects
+   it in both directions from measured profit. *)
+let assumed_tuples_per_s = 25e6
+
+let calibrate pool =
+  let reps = 16 in
+  let noop () = () in
+  let tasks = Array.make (2 * pool.jobs) noop in
+  (* warm the pool (first wake-ups include domain start-up latency) *)
+  run_batch pool tasks;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    run_batch pool tasks
+  done;
+  let sync_s = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let width = sync_s *. assumed_tuples_per_s *. float_of_int pool.jobs in
+  min auto_ceiling (max auto_floor (int_of_float width))
+
+let make_grain ~jobs ~chunk_size ~fallback =
+  match fallback with
+  | Some n when n <= 0 ->
+    (* fan-out forced: every round with fast work goes to the pool *)
+    {
+      threshold = 0;
+      floor = 0;
+      ceiling = 0;
+      adaptive = false;
+      calibrated = true;
+      idle_rounds = 0;
+    }
+  | Some n ->
+    {
+      threshold = n;
+      floor = n;
+      ceiling = n;
+      adaptive = false;
+      calibrated = true;
+      idle_rounds = 0;
+    }
+  | None ->
+    {
+      threshold = jobs * chunk_size;
+      floor = auto_floor;
+      ceiling = auto_ceiling;
+      adaptive = true;
+      calibrated = false;
+      idle_rounds = 0;
+    }
+
+(* first crossing of the static gate in auto mode: the pool has just
+   been spawned, so replace the gate with a threshold calibrated from
+   this machine's measured synchronization cost *)
+let grain_calibrate g pool =
+  if g.adaptive && not g.calibrated then begin
+    let t = calibrate pool in
+    g.threshold <- t;
+    g.floor <- t;
+    g.calibrated <- true
+  end
+
+(* One fanned round's verdict: [busy] sums the in-task seconds of all
+   slices, i.e. the work a sequential scan of the same deltas would have
+   done inline; [wall] is what the fan-out actually cost end to end,
+   merge included.  No overlap at all means the pool lost — raise the
+   threshold past this round's width; a clear win pulls the threshold
+   back toward its calibrated floor. *)
+let grain_feedback g ~wall ~busy ~width =
+  if g.adaptive then
+    if wall >= busy then g.threshold <- min g.ceiling (max (g.threshold * 2) (width + 1))
+    else if wall < 0.5 *. busy && g.threshold > g.floor then
+      g.threshold <- max g.floor (g.threshold / 2)
+
+(* lazy pool management handed to [run_stratum]: spawn on demand, park
+   (shut down) when the controller decides the pool is dead weight,
+   report liveness *)
+type pool_handle = {
+  acquire : unit -> pool;
+  park : unit -> unit;
+  live : unit -> bool;
+}
+
+(* ------------------------------------------------------------------ *)
 (* Round work items                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* One stamp-range chunk of one delta instance's scan.  Everything a
-   worker touches is private to the chunk: the sources are plain frozen
-   views, the stats record is its own, and the fast executor allocates
-   its scratch per run. *)
-type chunk = {
-  cfast : Plan.fast;
-  csrc : Plan.view list array;  (* per body position; delta narrowed *)
-  cfirst : bool;  (* first chunk: keeps the instance's step-0 probe *)
-  cstats : Stats.t;  (* per-task counters, absorbed at the barrier *)
-  chead : Relation.t;  (* resolved on the main domain before fan-out *)
-  chead_sym : Symbol.t;
-  mutable cderived : Tuple.t list;  (* newest first *)
+(* Growable tuple buffer, sized up front from the slice's delta width so
+   the common case never reallocates mid-scan.  Only the owning worker
+   touches it between the fan-out and the barrier. *)
+module Buf = struct
+  type t = { mutable data : Tuple.t array; mutable len : int }
+
+  let dummy : Tuple.t = [||]
+  let create capacity = { data = Array.make (max 4 capacity) dummy; len = 0 }
+
+  let push b tuple =
+    if b.len = Array.length b.data then begin
+      let data = Array.make (2 * b.len) dummy in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    b.data.(b.len) <- tuple;
+    b.len <- b.len + 1
+end
+
+(* One stamp-range slice of one delta instance's scan.  Everything a
+   worker touches is private to the slice: the sources are plain frozen
+   views and the fast executor allocates its scratch per run. *)
+type slice = {
+  sfast : Plan.fast;
+  ssrc : Plan.view list array;  (* per body position; delta narrowed *)
+  sfirst : bool;  (* first slice of its instance: keeps the step-0 probe *)
+  shead : Relation.t;  (* resolved on the main domain before fan-out *)
+  shead_sym : Symbol.t;
+  sbuf : Buf.t;
 }
 
-let exec_chunk c =
+(* One pool task: a run of consecutive slices (in creation order) packed
+   up to the batch's work budget, sharing one stats record. *)
+type task = { slices : slice array; tstats : Stats.t }
+
+let exec_task t =
   let t0 = Unix.gettimeofday () in
-  Plan.run_fast ~stats:c.cstats
-    ~source:(fun lit _ -> c.csrc.(lit))
-    ~on_fact:(fun _ tuple -> c.cderived <- tuple :: c.cderived)
-    c.cfast;
-  c.cstats.Stats.par_busy_s <- Unix.gettimeofday () -. t0
+  Array.iter
+    (fun s ->
+      Plan.run_fast ~stats:t.tstats
+        ~source:(fun lit _ -> s.ssrc.(lit))
+        ~on_fact:(fun _ tuple -> Buf.push s.sbuf tuple)
+        s.sfast)
+    t.slices;
+  t.tstats.Stats.par_busy_s <- Unix.gettimeofday () -. t0
 
 (* A rule instance the fast executor cannot model: runs on the main
    domain during the fan-out (it may intern; the main domain is the
-   pool's single writer), buffered like a chunk and merged after the
+   pool's single writer), buffered like a slice and merged after the
    barrier so it never inserts while workers read. *)
 type slow = {
   sinstance : Plan.instance;
-  ssrc : Plan.view list array;
+  slsrc : Plan.view list array;
   mutable sderived : (Symbol.t * Tuple.t) list;  (* newest first *)
   srecord : Symbol.t -> Tuple.t -> unit;
 }
+
+(* Pack every fast instance's delta scan into tasks of [size] total
+   stamps: instances are walked in creation order and their ranges cut
+   greedily, so a task may span several small instances (coalescing) and
+   a wide instance may span several tasks (balancing).  Returns tasks in
+   creation order; concatenating their slices yields the instances'
+   scans in instance-major ascending-stamp order — the sequential
+   engine's own scan order, which the merge replays. *)
+type fast_item = {
+  ffast : Plan.fast;
+  fsrcs : Plan.view list array;
+  fdpos : int;
+  fdelta : Plan.view;
+  fhead : Relation.t;
+  fhead_sym : Symbol.t;
+}
+
+let pack_tasks ~size items =
+  let tasks = ref [] in
+  let cur = ref [] in
+  let fill = ref 0 in
+  let flush () =
+    if !cur <> [] then begin
+      tasks := { slices = Array.of_list (List.rev !cur); tstats = Stats.create () } :: !tasks;
+      cur := [];
+      fill := 0
+    end
+  in
+  List.iter
+    (fun it ->
+      let v = it.fdelta in
+      let lo = ref v.Plan.lo in
+      while !lo < v.Plan.hi do
+        if !fill >= size then flush ();
+        let take = min (v.Plan.hi - !lo) (size - !fill) in
+        let hi = !lo + take in
+        let ssrc = Array.copy it.fsrcs in
+        ssrc.(it.fdpos) <- [ { Plan.rel = v.Plan.rel; lo = !lo; hi } ];
+        cur :=
+          {
+            sfast = it.ffast;
+            ssrc;
+            sfirst = !lo = v.Plan.lo;
+            shead = it.fhead;
+            shead_sym = it.fhead_sym;
+            sbuf = Buf.create (min take 4096);
+          }
+          :: !cur;
+        fill := !fill + take;
+        lo := hi
+      done)
+    items;
+  flush ();
+  Array.of_list (List.rev !tasks)
 
 (* ------------------------------------------------------------------ *)
 (* Stratum evaluation                                                  *)
@@ -204,7 +430,7 @@ type slow = {
    partition its insertion log into old [\[0, o)], delta [\[o, d)] and
    new [\[0, d)]; in-round insertions land beyond [d] and rotation ends
    the round. *)
-let run_stratum ~pool ~chunk_size ~stats ~budget db rules =
+let run_stratum ~pool ~grain ~chunk_size ~stats ~budget db rules =
   let plans = Plan.compile_stratum rules in
   let marks =
     List.map
@@ -214,7 +440,12 @@ let run_stratum ~pool ~chunk_size ~stats ~budget db rules =
       (List.sort_uniq Symbol.compare
          (List.map (fun r -> Atom.symbol r.Rule.head) rules))
   in
-  let mark_of sym = List.find_opt (fun (s, _, _, _) -> Symbol.equal s sym) marks in
+  (* [mark_of] runs once per literal per instance per round: a linear
+     scan of [marks] was measurable on many-round fixpoints, so the
+     lookup is a hashtable built once per stratum *)
+  let mark_tbl = Symbol.Tbl.create 16 in
+  List.iter (fun (sym, rel, o, d) -> Symbol.Tbl.replace mark_tbl sym (rel, o, d)) marks;
+  let mark_of sym = Symbol.Tbl.find_opt mark_tbl sym in
   let has_delta () = List.exists (fun (_, _, o, d) -> !o <> !d) marks in
   let rotate () =
     List.iter (fun (_, rel, o, d) -> o := !d; d := Relation.size rel) marks
@@ -242,7 +473,7 @@ let run_stratum ~pool ~chunk_size ~stats ~budget db rules =
         | Rule.Pos a when not (Atom.is_builtin a) -> begin
           let sym = Atom.symbol a in
           match mark_of sym with
-          | Some (_, rel, o, d) ->
+          | Some (rel, o, d) ->
             if lit = dpos then [ { Plan.rel; lo = !o; hi = !d } ]
             else if lit < dpos then [ { Plan.rel; lo = 0; hi = !o } ]
             else [ { Plan.rel; lo = 0; hi = !d } ]
@@ -251,114 +482,153 @@ let run_stratum ~pool ~chunk_size ~stats ~budget db rules =
         | Rule.Pos _ | Rule.Neg _ -> [])
       body
   in
+  (* the round's work list: every delta instance with a non-empty delta,
+     in plan/creation order, with its watermarks frozen *)
+  let round_items () =
+    List.concat_map
+      (fun (plan, record) ->
+        List.filter_map
+          (fun (dpos, instance) ->
+            let srcs = sources_for plan dpos in
+            let delta_empty =
+              List.for_all (fun v -> v.Plan.lo >= v.Plan.hi) srcs.(dpos)
+            in
+            if delta_empty then None else Some (record, dpos, instance, srcs))
+          plan.Plan.delta)
+      recorders
+  in
+  (* sequential execution of a round's items on the main domain — the
+     [jobs = 1] path and the grain controller's fallback *)
+  let run_seq items =
+    List.iter
+      (fun (record, _, instance, srcs) ->
+        Plan.run ~stats
+          ~source:(fun lit _ -> srcs.(lit))
+          ~neg_source:db_src ~on_fact:record instance)
+      items
+  in
   (* One semi-naive round after round 0.  Sequential when the pool is
-     absent; otherwise chunk every fast instance, fan the chunks out,
-     run the rest on the main domain, and merge single-writer. *)
+     absent or the grain controller vetoes the fan-out; otherwise pack
+     one coalesced task batch over all fast instances, fan it out, run
+     the generic instances on the main domain, and merge single-writer. *)
   let round () =
     match pool with
-    | None ->
-      List.iter
-        (fun (plan, record) ->
-          List.iter
-            (fun (dpos, instance) ->
-              let srcs = sources_for plan dpos in
-              let delta_empty =
-                List.for_all (fun v -> v.Plan.lo >= v.Plan.hi) srcs.(dpos)
-              in
-              if not delta_empty then
-                Plan.run ~stats
-                  ~source:(fun lit _ -> srcs.(lit))
-                  ~neg_source:db_src ~on_fact:record instance)
-            plan.Plan.delta)
-        recorders
-    | Some pool ->
-      let chunks = ref [] and slows = ref [] in
-      List.iter
-        (fun (plan, record) ->
-          List.iter
-            (fun (dpos, instance) ->
-              let srcs = sources_for plan dpos in
-              let delta_empty =
-                List.for_all (fun v -> v.Plan.lo >= v.Plan.hi) srcs.(dpos)
-              in
-              if not delta_empty then
-                match instance.Plan.fast with
-                | Some fast ->
-                  let source lit _ = srcs.(lit) in
-                  Plan.prepare_indexes ~source fast;
-                  let hsym = Plan.fast_head_symbol fast in
-                  let hrel = Database.relation db hsym in
-                  let v = List.hd srcs.(dpos) in
-                  let range = v.Plan.hi - v.Plan.lo in
-                  let size =
-                    max chunk_size ((range + (2 * pool.jobs) - 1) / (2 * pool.jobs))
-                  in
-                  let lo = ref v.Plan.lo in
-                  while !lo < v.Plan.hi do
-                    let hi = min v.Plan.hi (!lo + size) in
-                    let csrc = Array.copy srcs in
-                    csrc.(dpos) <- [ { Plan.rel = v.Plan.rel; lo = !lo; hi } ];
-                    let cstats = Stats.create () in
-                    cstats.Stats.par_tasks <- 1;
-                    chunks :=
-                      {
-                        cfast = fast;
-                        csrc;
-                        cfirst = !lo = v.Plan.lo;
-                        cstats;
-                        chead = hrel;
-                        chead_sym = hsym;
-                        cderived = [];
-                      }
-                      :: !chunks;
-                    lo := hi
-                  done
-                | None ->
-                  slows :=
-                    { sinstance = instance; ssrc = srcs; sderived = []; srecord = record }
-                    :: !slows)
-            plan.Plan.delta)
-        recorders;
-      let chunks = Array.of_list (List.rev !chunks) in
-      let slows = List.rev !slows in
-      let run_slow buffered =
-        List.iter
-          (fun s ->
-            let on_fact =
-              if buffered then fun sym tuple -> s.sderived <- (sym, tuple) :: s.sderived
-              else s.srecord
-            in
-            Plan.run ~stats
-              ~source:(fun lit _ -> s.ssrc.(lit))
-              ~neg_source:db_src ~on_fact s.sinstance)
-          slows
+    | None -> run_seq (round_items ())
+    | Some handle ->
+      let run_fallback items =
+        stats.Stats.par_fallback_rounds <- stats.Stats.par_fallback_rounds + 1;
+        run_seq items;
+        if handle.live () then begin
+          grain.idle_rounds <- grain.idle_rounds + 1;
+          if grain.idle_rounds >= park_after then begin
+            handle.park ();
+            grain.idle_rounds <- 0
+          end
+        end
       in
-      if Array.length chunks = 0 then run_slow false
+      let items = round_items () in
+      let fast_width =
+        List.fold_left
+          (fun acc (_, dpos, instance, srcs) ->
+            match instance.Plan.fast with
+            | None -> acc
+            | Some _ ->
+              List.fold_left
+                (fun acc v -> acc + max 0 (v.Plan.hi - v.Plan.lo))
+                acc srcs.(dpos))
+          0 items
+      in
+      if fast_width = 0 then
+        (* nothing to fan out: only generic instances this round *)
+        run_seq items
+      else if fast_width < grain.threshold then run_fallback items
       else begin
+        (* crossing the gate spawns (or re-spawns a parked) pool and, in
+           auto mode, replaces the static gate with the calibrated
+           threshold — which may veto this round after all *)
+        let pool = handle.acquire () in
+        grain_calibrate grain pool;
+        if fast_width < grain.threshold then run_fallback items
+        else begin
+        let fast_items = ref [] and slows = ref [] in
+        List.iter
+          (fun (record, dpos, instance, srcs) ->
+            match instance.Plan.fast with
+            | Some fast ->
+              let source lit _ = srcs.(lit) in
+              Plan.prepare_indexes ~source fast;
+              let hsym = Plan.fast_head_symbol fast in
+              fast_items :=
+                {
+                  ffast = fast;
+                  fsrcs = srcs;
+                  fdpos = dpos;
+                  fdelta = List.hd srcs.(dpos);
+                  fhead = Database.relation db hsym;
+                  fhead_sym = hsym;
+                }
+                :: !fast_items
+            | None ->
+              slows :=
+                { sinstance = instance; slsrc = srcs; sderived = []; srecord = record }
+                :: !slows)
+          items;
+        let fast_items = List.rev !fast_items in
+        let slows = List.rev !slows in
+        let size =
+          max chunk_size ((fast_width + (2 * pool.jobs) - 1) / (2 * pool.jobs))
+        in
+        let tasks = pack_tasks ~size fast_items in
+        let run_slow () =
+          List.iter
+            (fun s ->
+              Plan.run ~stats
+                ~source:(fun lit _ -> s.slsrc.(lit))
+                ~neg_source:db_src
+                ~on_fact:(fun sym tuple -> s.sderived <- (sym, tuple) :: s.sderived)
+                s.sinstance)
+            slows
+        in
         stats.Stats.par_rounds <- stats.Stats.par_rounds + 1;
+        grain.idle_rounds <- 0;
         let t0 = Unix.gettimeofday () in
-        run_batch pool
-          ~before:(fun () -> run_slow true)
-          (Array.map (fun c () -> exec_chunk c) chunks);
+        Array.iter (fun t -> t.tstats.Stats.par_tasks <- 1) tasks;
+        run_batch pool ~before:run_slow (Array.map (fun t () -> exec_task t) tasks);
         (* single-writer merge, in deterministic (creation/derivation)
            order: insertion stamps never depend on scheduling *)
+        let busy = ref 0. in
         Array.iter
-          (fun c ->
-            if not c.cfirst then
-              c.cstats.Stats.probes <- c.cstats.Stats.probes - 1;
-            Stats.absorb ~into:stats c.cstats;
-            List.iter
-              (fun tuple ->
-                let is_new = Relation.add c.chead tuple in
-                Stats.record_fact stats c.chead_sym ~is_new;
-                if is_new then I.spend_fact budget)
-              (List.rev c.cderived))
-          chunks;
+          (fun t ->
+            (* run_fast probes a scan's first step once per slice where
+               the sequential engine probes once per instance: correct
+               one probe per non-first slice, guarded so a slice that
+               recorded nothing can never drive the counter negative *)
+            let corrections =
+              Array.fold_left
+                (fun n s -> if s.sfirst then n else n + 1)
+                0 t.slices
+            in
+            t.tstats.Stats.probes <-
+              t.tstats.Stats.probes - min corrections t.tstats.Stats.probes;
+            busy := !busy +. t.tstats.Stats.par_busy_s;
+            Stats.absorb ~into:stats t.tstats;
+            Array.iter
+              (fun s ->
+                let buf = s.sbuf in
+                for i = 0 to buf.Buf.len - 1 do
+                  let is_new = Relation.add s.shead buf.Buf.data.(i) in
+                  Stats.record_fact stats s.shead_sym ~is_new;
+                  if is_new then I.spend_fact budget
+                done)
+              t.slices)
+          tasks;
         List.iter
           (fun s -> List.iter (fun (sym, t) -> s.srecord sym t) (List.rev s.sderived))
           slows;
-        stats.Stats.par_wall_s <-
-          stats.Stats.par_wall_s +. (Unix.gettimeofday () -. t0)
+        let wall = Unix.gettimeofday () -. t0 in
+        stats.Stats.par_wall_s <- stats.Stats.par_wall_s +. wall;
+        grain_feedback grain ~wall ~busy:!busy ~width:fast_width
+        end
       end
   in
   let diverged = ref false in
@@ -371,7 +641,7 @@ let run_stratum ~pool ~chunk_size ~stats ~budget db rules =
       I.start_round ~stats ~budget;
       let source0 lit sym =
         match mark_of sym with
-        | Some (_, rel, _, d) -> [ { Plan.rel; lo = 0; hi = !d } ]
+        | Some (rel, _, d) -> [ { Plan.rel; lo = 0; hi = !d } ]
         | None -> db_src lit sym
       in
       List.iter
@@ -404,19 +674,42 @@ let run_stratum ~pool ~chunk_size ~stats ~budget db rules =
 let default_chunk = 256
 
 let seminaive ?max_iterations ?max_facts ?(jobs = 1) ?(chunk = default_chunk)
-    program ~edb =
+    ?fallback program ~edb =
   let jobs = max 1 jobs in
   let chunk_size = max 1 chunk in
   let stats = Stats.create () in
   let budget = I.make_budget ?max_iterations ?max_facts () in
   let db = Database.copy edb in
-  let pool = if jobs > 1 then Some (create_pool jobs) else None in
+  (* the pool is spawned on first use and parked when the controller
+     gives up on it (see [grain]): a run whose rounds all fall below
+     the gate never starts a domain, and so never pays the runtime's
+     per-minor-collection domain synchronization *)
+  let spawned = ref None in
+  let handle =
+    {
+      acquire =
+        (fun () ->
+          match !spawned with
+          | Some p -> p
+          | None ->
+            let p = create_pool jobs in
+            spawned := Some p;
+            p);
+      park =
+        (fun () ->
+          Option.iter shutdown !spawned;
+          spawned := None);
+      live = (fun () -> Option.is_some !spawned);
+    }
+  in
+  let pool = if jobs > 1 then Some handle else None in
   if jobs > 1 then stats.Stats.par_jobs <- jobs;
+  let grain = make_grain ~jobs ~chunk_size ~fallback in
   let eval () =
     List.fold_left
       (fun div rules ->
         let d =
-          try run_stratum ~pool ~chunk_size ~stats ~budget db rules
+          try run_stratum ~pool ~grain ~chunk_size ~stats ~budget db rules
           with I.Budget_exhausted | Term.Arithmetic_overflow -> true
         in
         div || d)
@@ -425,6 +718,20 @@ let seminaive ?max_iterations ?max_facts ?(jobs = 1) ?(chunk = default_chunk)
   let diverged =
     match pool with
     | None -> eval ()
-    | Some p -> Fun.protect ~finally:(fun () -> shutdown p) eval
+    | Some _ ->
+      Fun.protect
+        ~finally:(fun () -> Option.iter shutdown !spawned)
+        eval
   in
   { Eval.db; stats; diverged }
+
+(* ------------------------------------------------------------------ *)
+
+module Internal = struct
+  type nonrec pool = pool
+
+  let create_pool = create_pool
+  let run_batch = run_batch
+  let shutdown = shutdown
+  let live_domains = live_domains
+end

@@ -2,23 +2,39 @@
 
     Same semantics, same answers and same statistics as the sequential
     plan engine ({!Eval.seminaive}); the parallelism is confined to the
-    scan phase of each fixpoint round.  Within a round, every delta
-    instance's scan of its delta stamp range is partitioned into chunks
+    scan phase of each fixpoint round.  Within a round, the delta scans
+    of {e all} fast instances are packed into one coalesced batch of
+    rule-instance × stamp-range slices, balanced by total work, and
     fanned out over a fixed pool of domains.  Workers run the read-only
     fast executor over frozen stamp-range views and buffer their derived
-    tuples; a single merge step on the main domain then interns,
-    deduplicates and inserts, so the global {!Value} pool, the
+    tuples in pre-sized buffers; a single merge step on the main domain
+    then deduplicates and inserts, so the global {!Value} pool, the
     {!Ttbl}-backed relations and the index buckets remain single-writer
     and lock-free.  Rule instances outside the fast executor's fragment
     (builtins, negation, arithmetic, dynamic heads) run buffered on the
     main domain, concurrently with the workers.
 
-    Chunks are merged in creation order, so insertion stamps — and the
-    delta iteration order of every later round — do not depend on
-    scheduling: two runs with any [jobs] value produce identical
-    databases and identical statistics (the per-chunk duplicate of the
-    first join probe is corrected at the barrier).  The differential
-    test suite asserts both properties against the sequential engines. *)
+    Fan-out has a fixed per-round cost, so a grain controller measures
+    each round's total delta width before any pool traffic and runs
+    narrow rounds sequentially on the main domain ([par_fallback_rounds]
+    counts them).  The fallback threshold is tunable and by default
+    auto-calibrated from the pool's measured synchronization cost, then
+    adapted from each fanned round's wall-vs-busy profit.  The pool
+    itself is spawned lazily, on the first round wide enough to use it:
+    a run that never crosses the threshold starts no domains at all
+    (idle domains would still tax every minor collection with domain
+    synchronization), so narrow fixpoints run at sequential speed.
+
+    Slices are created in instance order, cut in ascending stamp order
+    and merged in creation order, so a fanned round's insertion stamps
+    never depend on scheduling.  With a fixed threshold, two runs at any
+    [jobs] value produce identical databases and identical statistics
+    (the per-slice duplicate of the first join probe is corrected at the
+    barrier).  In auto mode the timing-based threshold may flip a round
+    between fanned and sequential across runs, which permutes insertion
+    stamps only within that round: derived fact sets, per-round deltas
+    and all core counters are still identical, which the differential
+    test suite asserts against the sequential engines. *)
 
 open Datalog
 
@@ -27,6 +43,7 @@ val seminaive :
   ?max_facts:int ->
   ?jobs:int ->
   ?chunk:int ->
+  ?fallback:int ->
   Program.t ->
   edb:Database.t ->
   Eval.outcome
@@ -37,11 +54,45 @@ val seminaive :
     identical to {!Eval.seminaive}.
 
     [chunk] (default 256) is the minimum number of delta stamps per
-    fan-out task; scans are split into at most [2 * jobs] chunks of at
-    least this size, so small rounds are not shredded into tasks whose
-    scheduling costs more than their scan.  Tests pass [~chunk:1] to
-    force multi-chunk rounds on small data.
+    fan-out task; a round's coalesced batch is split into at most
+    [2 * jobs] tasks of at least this many stamps of total work, so
+    small rounds are not shredded into tasks whose scheduling costs more
+    than their scan.  Tests pass [~chunk:1] to force multi-task rounds
+    on small data.
+
+    [fallback] sets the grain controller's sequential-fallback
+    threshold, in delta stamps: rounds whose total fast delta width is
+    below it run on the main domain with zero pool traffic, and the
+    pool is only spawned once a round reaches it.  [~fallback:0]
+    disables the fallback (every round with fast work fans out — what
+    tests use to exercise the merge path on small data); [~fallback:n]
+    pins the threshold at [n]; omitting it selects auto mode (gate at
+    [jobs * chunk] until the first fan-out, then calibrate from the
+    pool's measured synchronization cost and adapt per round).
 
     The outcome's {!Stats.t} carries the pool width and fan-out
     accounting in its [par_*] fields; all other counters equal the
     sequential engine's. *)
+
+(** {2 Test access}
+
+    The pool primitives, exposed for the failure-path tests (a raising
+    task must neither deadlock {!Internal.run_batch} nor leak domains).
+    Not part of the engine's public surface. *)
+module Internal : sig
+  type pool
+
+  val create_pool : int -> pool
+  (** [create_pool jobs] spawns [jobs - 1] worker domains. *)
+
+  val run_batch : pool -> ?before:(unit -> unit) -> (unit -> unit) array -> unit
+  (** Publish a batch, help drain it, wait for the barrier.  If any task
+      (or [before]) raised, the first such exception is re-raised after
+      the barrier — the pool remains usable for further batches. *)
+
+  val shutdown : pool -> unit
+  (** Stop and join all spawned domains.  Idempotent. *)
+
+  val live_domains : pool -> int
+  (** Number of spawned domains not yet joined. *)
+end

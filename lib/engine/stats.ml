@@ -12,6 +12,7 @@ type t = {
   mutable delta_firings : int;
   mutable par_jobs : int;
   mutable par_rounds : int;
+  mutable par_fallback_rounds : int;
   mutable par_tasks : int;
   mutable par_wall_s : float;
   mutable par_busy_s : float;
@@ -31,6 +32,7 @@ let create () =
     delta_firings = 0;
     par_jobs = 0;
     par_rounds = 0;
+    par_fallback_rounds = 0;
     par_tasks = 0;
     par_wall_s = 0.;
     par_busy_s = 0.;
@@ -56,8 +58,23 @@ let facts_for s sym =
    not an amount of work: combining a 4-way phase with a sequential one
    still describes a 4-way run, so the combine is [max].  [src]'s
    [per_pred] refs are dereferenced, never shared, so later mutation of
-   either side cannot leak into the other. *)
+   either side cannot leak into the other.
+
+   Counters are amounts of work: a negative value is always a bookkeeping
+   bug upstream (historically, the parallel engine's per-chunk probe
+   correction could underflow), and summing it would silently corrupt
+   every later report.  Absorbing one is rejected loudly instead. *)
+let check_counters s =
+  if
+    s.iterations < 0 || s.firings < 0 || s.facts < 0 || s.rederivations < 0
+    || s.probes < 0 || s.subqueries < 0 || s.overdeleted < 0 || s.rederived < 0
+    || s.delta_firings < 0 || s.par_rounds < 0 || s.par_fallback_rounds < 0
+    || s.par_tasks < 0
+  then invalid_arg "Stats.absorb: negative counter"
+
 let absorb ~into:dst src =
+  check_counters src;
+  check_counters dst;
   dst.iterations <- dst.iterations + src.iterations;
   dst.firings <- dst.firings + src.firings;
   dst.facts <- dst.facts + src.facts;
@@ -69,6 +86,7 @@ let absorb ~into:dst src =
   dst.delta_firings <- dst.delta_firings + src.delta_firings;
   dst.par_jobs <- max dst.par_jobs src.par_jobs;
   dst.par_rounds <- dst.par_rounds + src.par_rounds;
+  dst.par_fallback_rounds <- dst.par_fallback_rounds + src.par_fallback_rounds;
   dst.par_tasks <- dst.par_tasks + src.par_tasks;
   dst.par_wall_s <- dst.par_wall_s +. src.par_wall_s;
   dst.par_busy_s <- dst.par_busy_s +. src.par_busy_s;
@@ -152,5 +170,8 @@ let pp ppf s =
     Fmt.pf ppf " overdeleted=%d rederived=%d delta_firings=%d" s.overdeleted
       s.rederived s.delta_firings;
   if s.par_jobs > 0 then
-    Fmt.pf ppf " jobs=%d par_rounds=%d par_tasks=%d par_wall_s=%.6f par_busy_s=%.6f"
-      s.par_jobs s.par_rounds s.par_tasks s.par_wall_s s.par_busy_s
+    Fmt.pf ppf
+      " jobs=%d par_rounds=%d par_fallback_rounds=%d par_tasks=%d par_wall_s=%.6f \
+       par_busy_s=%.6f"
+      s.par_jobs s.par_rounds s.par_fallback_rounds s.par_tasks s.par_wall_s
+      s.par_busy_s

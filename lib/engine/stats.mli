@@ -28,6 +28,10 @@ type t = {
   mutable par_rounds : int;
       (** parallel evaluation: fixpoint rounds that fanned work out to
           the pool *)
+  mutable par_fallback_rounds : int;
+      (** parallel evaluation: fixpoint rounds the grain controller ran
+          sequentially on the main domain because the round's total
+          delta width was below the fallback threshold *)
   mutable par_tasks : int;  (** parallel evaluation: chunk tasks executed *)
   mutable par_wall_s : float;
       (** parallel evaluation: wall-clock seconds spent in fan-out +
@@ -55,7 +59,12 @@ val absorb : into:t -> t -> unit
     without allocating a result.  The barrier step of the parallel
     engine absorbs each worker's per-domain counters into the run's
     stats; no refs are shared afterwards.  [absorb ~into:a b] leaves [a]
-    equal to [merge a b]. *)
+    equal to [merge a b].
+
+    @raise Invalid_argument if any integer counter of either side is
+    negative: counters are amounts of work, so a negative value is a
+    bookkeeping bug (e.g. an underflowing correction) that must not be
+    silently summed into later reports. *)
 
 val pp : t Fmt.t
 

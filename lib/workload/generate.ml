@@ -55,6 +55,44 @@ let random_graph ?(pred = "edge") ?(prefix = "n") ~nodes ~edges ~seed () =
   let max_edges = nodes * (nodes - 1) in
   List.rev (pick (min edges max_edges) [])
 
+let dense_graph ?(pred = "edge") ?(prefix = "n") ~nodes ~degree ~seed () =
+  (* every node gets exactly [degree] distinct out-edges: reachability
+     deltas grow multiplicatively for several rounds before closure, so
+     each semi-naive round carries thousands of delta tuples — the
+     wide-delta counterpart of [random_graph]'s sparse regime *)
+  if nodes < 2 then invalid_arg "Generate.dense_graph: need at least 2 nodes";
+  if degree >= nodes then invalid_arg "Generate.dense_graph: degree >= nodes";
+  let r = rng seed in
+  let facts = ref [] in
+  for a = 0 to nodes - 1 do
+    let seen = Hashtbl.create (2 * degree) in
+    let k = ref degree in
+    while !k > 0 do
+      let b = next r ~bound:nodes in
+      if b <> a && not (Hashtbl.mem seen b) then begin
+        Hashtbl.add seen b ();
+        facts := Atom.make pred [ node prefix a; node prefix b ] :: !facts;
+        decr k
+      end
+    done
+  done;
+  List.rev !facts
+
+let grid ?(pred = "edge") ?(prefix = "g") ~width ~height () =
+  (* directed grid: right and down edges only, so tc(corner, ?) reaches
+     every cell and the per-round delta is an entire anti-diagonal —
+     width*height cells whose reachability frontier is many tuples wide,
+     against the chain's one *)
+  let cell x y = Term.Sym (Fmt.str "%s_%d_%d" prefix x y) in
+  let facts = ref [] in
+  for y = height - 1 downto 0 do
+    for x = width - 1 downto 0 do
+      if x + 1 < width then facts := Atom.make pred [ cell x y; cell (x + 1) y ] :: !facts;
+      if y + 1 < height then facts := Atom.make pred [ cell x y; cell x (y + 1) ] :: !facts
+    done
+  done;
+  !facts
+
 let same_generation ~width ~height =
   (* a width x (height+1) grid: "up" climbs a tower, "down" descends it,
      and "flat" links horizontally adjacent nodes at every level; two
@@ -76,6 +114,37 @@ let same_generation ~width ~height =
            List.init (height + 1) (fun l -> Atom.make "flat" [ n t l; n (t + 1) l ])))
   in
   ups @ flats @ downs
+
+let bushy_same_generation ?(prefix = "bsg") ~branching ~depth () =
+  (* up/flat/down over a complete tree (breadth-first numbering as in
+     {!tree}): "up" climbs child -> parent, "down" descends, and "flat"
+     links every ordered pair of distinct siblings.  Same-generation
+     from any node then derives cousin pairs level by level, and because
+     every node of a level contributes, the per-round delta is as wide
+     as the level is populous — bushy, where the tower data of
+     {!same_generation} is chain-shaped *)
+  let facts = ref [] in
+  let rec go k d =
+    if d < depth then begin
+      let children = List.init branching (fun c -> (k * branching) + c + 1) in
+      List.iter
+        (fun c ->
+          facts := Atom.make "up" [ node prefix c; node prefix k ] :: !facts;
+          facts := Atom.make "down" [ node prefix k; node prefix c ] :: !facts;
+          go c (d + 1))
+        children;
+      List.iter
+        (fun c1 ->
+          List.iter
+            (fun c2 ->
+              if c1 <> c2 then
+                facts := Atom.make "flat" [ node prefix c1; node prefix c2 ] :: !facts)
+            children)
+        children
+    end
+  in
+  go 0 0;
+  List.rev !facts
 
 let list_of_ints n = Term.list (List.init n (fun i -> Term.Int i))
 

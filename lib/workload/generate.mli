@@ -33,10 +33,32 @@ val random_graph :
 (** [edges] distinct directed edges over [nodes] vertices (no self-loops),
     deterministic in [seed]. *)
 
+val dense_graph :
+  ?pred:string -> ?prefix:string -> nodes:int -> degree:int -> seed:int -> unit -> Atom.t list
+(** Every node gets exactly [degree] distinct directed out-edges (no
+    self-loops), deterministic in [seed].  Reachability over it closes
+    in few rounds with thousands-wide deltas — a wide-delta workload,
+    where {!random_graph}'s sparse edges give long, narrow fixpoints. *)
+
+val grid : ?pred:string -> ?prefix:string -> width:int -> height:int -> unit -> Atom.t list
+(** Directed [width] x [height] grid with right and down edges only:
+    reachability from the top-left corner sweeps an anti-diagonal
+    frontier, so every semi-naive round's delta is as wide as the
+    diagonal it crosses. *)
+
 val same_generation : width:int -> height:int -> Atom.t list
 (** The up/flat/down data of the same-generation benchmarks: [width]
     towers of [height] "up" edges, "flat" edges linking adjacent towers
     at the top, and matching "down" edges. *)
+
+val bushy_same_generation :
+  ?prefix:string -> branching:int -> depth:int -> unit -> Atom.t list
+(** Up/flat/down over a complete [branching]-ary tree of [depth] levels:
+    "up" climbs child to parent, "down" descends, "flat" links every
+    ordered pair of distinct siblings.  Same-generation over it derives
+    all cousin pairs of each level, so per-round deltas grow with the
+    level's population — the bushy, wide-delta counterpart of
+    {!same_generation}'s towers. *)
 
 val list_of_ints : int -> Term.t
 (** The term [[0, 1, ..., n-1]]. *)

@@ -22,6 +22,11 @@ let nonlinear_same_generation =
     "sg(X,Y) :- flat(X,Y).\n\
      sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y)."
 
+let same_generation_linear =
+  parse
+    "sg(X,Y) :- flat(X,Y).\n\
+     sg(X,Y) :- up(X,Z1), sg(Z1,Z2), down(Z2,Y)."
+
 let same_generation_query c = Atom.make "sg" [ c; Term.Var "Ans" ]
 
 let list_reverse =

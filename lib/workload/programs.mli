@@ -22,6 +22,11 @@ val nested_same_generation_query : Term.t -> Atom.t
 val nonlinear_same_generation : Program.t
 (** The two-rule nonlinear same-generation program of Example 1. *)
 
+val same_generation_linear : Program.t
+(** The classic linear same-generation program:
+    [sg(X,Y) :- flat(X,Y).  sg(X,Y) :- up(X,Z1), sg(Z1,Z2), down(Z2,Y).]
+    Shares {!same_generation_query}. *)
+
 val same_generation_query : Term.t -> Atom.t
 (** [sg(c, ?)] *)
 

@@ -4,8 +4,10 @@
    statistics as the sequential plan engine — and, extensionally, as the
    uncompiled reference engine — on arbitrary programs and rewrites.
    Scheduling must be invisible: repeated parallel runs are bit-for-bit
-   deterministic.  All parallel runs here force [~chunk:1] so that even
-   the tiny random workloads fan out into many tasks per round. *)
+   deterministic.  Parallel runs here force [~chunk:1 ~fallback:0] so
+   that even the tiny random workloads fan out into many tasks per
+   round — the grain controller's auto mode would (correctly) run them
+   all sequentially, which is exercised separately. *)
 
 open Datalog
 open Helpers
@@ -56,9 +58,12 @@ let prop_par_equals_engines =
       db_signature refr = db_signature seq
       && List.for_all
            (fun jobs ->
-             let par = E.Par_eval.seminaive ~jobs ~chunk:1 p ~edb in
+             let par = E.Par_eval.seminaive ~jobs ~chunk:1 ~fallback:0 p ~edb in
+             let auto = E.Par_eval.seminaive ~jobs p ~edb in
              db_signature par = db_signature seq
-             && core_sig par.E.Eval.stats = core_sig seq.E.Eval.stats)
+             && core_sig par.E.Eval.stats = core_sig seq.E.Eval.stats
+             && db_signature auto = db_signature seq
+             && core_sig auto.E.Eval.stats = core_sig seq.E.Eval.stats)
            jobs_sweep)
 
 (* ------------------------------------------------------------------ *)
@@ -107,7 +112,7 @@ let prop_par_on_rewrites =
                 seq
                 = run (fun () ->
                       E.Par_eval.seminaive ~max_facts:50_000 ~jobs ~chunk:1
-                        rw.C.Rewritten.program ~edb:edb'))
+                        ~fallback:0 rw.C.Rewritten.program ~edb:edb'))
               jobs_sweep)
         rewritings)
 
@@ -141,11 +146,28 @@ let test_stress_determinism () =
       let seq = E.Eval.seminaive p ~edb in
       let expected = (db_signature seq, core_sig seq.E.Eval.stats) in
       for i = 1 to 20 do
-        let par = E.Par_eval.seminaive ~jobs:stress_jobs ~chunk:1 p ~edb in
+        (* forced fan-out: every round with fast work crosses the pool *)
+        let par =
+          E.Par_eval.seminaive ~jobs:stress_jobs ~chunk:1 ~fallback:0 p ~edb
+        in
         if (db_signature par, core_sig par.E.Eval.stats) <> expected then
           Alcotest.failf "%s: parallel run %d diverged from sequential (jobs=%d)"
             name i stress_jobs
-      done)
+      done;
+      (* auto grain control: the adaptive threshold may flip rounds
+         between fanned and sequential between runs, but the derived
+         fact set and core counters must still match exactly *)
+      for i = 1 to 5 do
+        let auto = E.Par_eval.seminaive ~jobs:stress_jobs p ~edb in
+        if (db_signature auto, core_sig auto.E.Eval.stats) <> expected then
+          Alcotest.failf
+            "%s: auto-grain run %d diverged from sequential (jobs=%d)" name i
+            stress_jobs
+      done;
+      (* a mid-scale fixed threshold: rounds mix fallback and fan-out *)
+      let mixed = E.Par_eval.seminaive ~jobs:stress_jobs ~chunk:1 ~fallback:40 p ~edb in
+      if (db_signature mixed, core_sig mixed.E.Eval.stats) <> expected then
+        Alcotest.failf "%s: fixed-threshold run diverged from sequential" name)
     (stress_workloads ())
 
 (* ------------------------------------------------------------------ *)
@@ -172,7 +194,7 @@ let test_negation_and_builtins_parallel () =
   let seq = E.Eval.seminaive p ~edb:edb0 in
   List.iter
     (fun jobs ->
-      let par = E.Par_eval.seminaive ~jobs ~chunk:1 p ~edb:edb0 in
+      let par = E.Par_eval.seminaive ~jobs ~chunk:1 ~fallback:0 p ~edb:edb0 in
       Alcotest.(check bool)
         (Fmt.str "negation+builtins jobs=%d matches sequential" jobs)
         true
@@ -189,7 +211,8 @@ let test_budget_parallel () =
   List.iter
     (fun jobs ->
       let par =
-        E.Par_eval.seminaive ~max_facts:40 ~jobs ~chunk:1 P.transitive_closure ~edb
+        E.Par_eval.seminaive ~max_facts:40 ~jobs ~chunk:1 ~fallback:0
+          P.transitive_closure ~edb
       in
       Alcotest.(check bool) (Fmt.str "jobs=%d diverges too" jobs) true
         par.E.Eval.diverged;
@@ -204,20 +227,124 @@ let test_budget_parallel () =
     par.E.Eval.stats.E.Stats.facts
 
 (* the par_* accounting: a parallel run reports its pool width and task
-   counts; a jobs=1 run reports none (it is the sequential engine) *)
+   counts; a jobs=1 run reports none (it is the sequential engine); the
+   grain controller's verdicts are visible in par_rounds vs
+   par_fallback_rounds *)
 let test_par_accounting () =
   let edb = G.db (G.chain ~pred:"edge" 80) in
   let one = E.Par_eval.seminaive ~jobs:1 ~chunk:1 P.transitive_closure ~edb in
   Alcotest.(check int) "jobs=1 reports no pool" 0 one.E.Eval.stats.E.Stats.par_jobs;
   Alcotest.(check int) "jobs=1 runs no tasks" 0 one.E.Eval.stats.E.Stats.par_tasks;
-  let four = E.Par_eval.seminaive ~jobs:4 ~chunk:1 P.transitive_closure ~edb in
+  let four =
+    E.Par_eval.seminaive ~jobs:4 ~chunk:1 ~fallback:0 P.transitive_closure ~edb
+  in
   Alcotest.(check int) "jobs=4 reports its pool" 4 four.E.Eval.stats.E.Stats.par_jobs;
   Alcotest.(check bool) "jobs=4 ran fanned-out rounds" true
     (four.E.Eval.stats.E.Stats.par_rounds > 0
     && four.E.Eval.stats.E.Stats.par_tasks >= four.E.Eval.stats.E.Stats.par_rounds);
+  Alcotest.(check int) "fallback disabled: no fallback rounds" 0
+    four.E.Eval.stats.E.Stats.par_fallback_rounds;
   Alcotest.(check bool) "busy time was accumulated" true
     (four.E.Eval.stats.E.Stats.par_busy_s >= 0.
-    && four.E.Eval.stats.E.Stats.par_wall_s >= 0.)
+    && four.E.Eval.stats.E.Stats.par_wall_s >= 0.);
+  (* a threshold wider than any delta: every round falls back, the pool
+     sees zero traffic, and results are still identical *)
+  let wide =
+    E.Par_eval.seminaive ~jobs:4 ~fallback:max_int P.transitive_closure ~edb
+  in
+  Alcotest.(check int) "all-fallback: no fanned rounds" 0
+    wide.E.Eval.stats.E.Stats.par_rounds;
+  Alcotest.(check int) "all-fallback: no tasks" 0 wide.E.Eval.stats.E.Stats.par_tasks;
+  Alcotest.(check bool) "all-fallback: fallback rounds counted" true
+    (wide.E.Eval.stats.E.Stats.par_fallback_rounds > 0);
+  Alcotest.(check bool) "all-fallback: same result as forced fan-out" true
+    (db_signature wide = db_signature four
+    && core_sig wide.E.Eval.stats = core_sig four.E.Eval.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Pool failure path: a raising task must neither deadlock run_batch   *)
+(* nor leak domains, and the pool must survive for later batches       *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom
+
+let test_pool_failure () =
+  List.iter
+    (fun jobs ->
+      let module PI = E.Par_eval.Internal in
+      let pool = PI.create_pool jobs in
+      Alcotest.(check int)
+        (Fmt.str "jobs=%d: pool spawned its workers" jobs)
+        (jobs - 1) (PI.live_domains pool);
+      Fun.protect
+        ~finally:(fun () ->
+          PI.shutdown pool;
+          Alcotest.(check int)
+            (Fmt.str "jobs=%d: shutdown joined every domain" jobs)
+            0 (PI.live_domains pool))
+        (fun () ->
+          let n_tasks = 4 * jobs in
+          let completed = Array.make n_tasks false in
+          let batch =
+            Array.init n_tasks (fun i () ->
+                if i = 1 then raise Boom else completed.(i) <- true)
+          in
+          (match PI.run_batch pool batch with
+          | () -> Alcotest.failf "jobs=%d: raising batch returned normally" jobs
+          | exception Boom -> ());
+          (* the exception surfaced only after the barrier: every other
+             task of the batch still ran to completion first *)
+          Array.iteri
+            (fun i ran ->
+              if i <> 1 then
+                Alcotest.(check bool)
+                  (Fmt.str "jobs=%d: task %d completed before the re-raise" jobs i)
+                  true ran)
+            completed;
+          (* a failed batch must not poison the pool *)
+          let count = Atomic.make 0 in
+          PI.run_batch pool
+            (Array.init n_tasks (fun _ () -> Atomic.incr count));
+          Alcotest.(check int)
+            (Fmt.str "jobs=%d: pool usable after a failed batch" jobs)
+            n_tasks (Atomic.get count);
+          (* a raising [before] thunk takes the same path *)
+          (match PI.run_batch pool ~before:(fun () -> raise Boom) [||] with
+          | () -> Alcotest.failf "jobs=%d: raising before returned normally" jobs
+          | exception Boom -> ())))
+    [ 2; 4 ]
+
+(* engine-level failure: an arithmetic overflow raised by a buffered
+   main-domain instance aborts the round after the barrier — the run is
+   flagged diverged, the pool is shut down cleanly (Fun.protect), and
+   the database holds exactly the completed merges, like the sequential
+   engine's *)
+let test_engine_failure_database () =
+  let src =
+    "n(X) :- e(X, Y).\n\
+     n(Y) :- e(X, Y).\n\
+     t(X, Y) :- e(X, Y).\n\
+     t(X, Y) :- e(X, Z), t(Z, Y).\n\
+     sq(Y) :- n(X), Y = X * X.\n\
+     ?- t(?, ?)."
+  in
+  let p, _, edb = load src in
+  ignore (E.Database.add_fact edb (Helpers.atom "e(2, 4611686018427387902)"));
+  List.iter
+    (fun i ->
+      ignore
+        (E.Database.add_fact edb
+           (Atom.make "e" [ Term.Int i; Term.Int (i + 1) ])))
+    (List.init 30 Fun.id);
+  let seq = E.Eval.seminaive p ~edb in
+  Alcotest.(check bool) "sequential run diverges on overflow" true
+    seq.E.Eval.diverged;
+  List.iter
+    (fun jobs ->
+      let par = E.Par_eval.seminaive ~jobs ~chunk:1 ~fallback:0 p ~edb in
+      Alcotest.(check bool) (Fmt.str "jobs=%d diverges too" jobs) true
+        par.E.Eval.diverged)
+    [ 2; 4 ]
 
 let suite =
   [
@@ -230,4 +357,7 @@ let suite =
       test_negation_and_builtins_parallel;
     Alcotest.test_case "budget exhaustion in parallel" `Quick test_budget_parallel;
     Alcotest.test_case "par_* accounting" `Quick test_par_accounting;
+    Alcotest.test_case "pool failure path" `Quick test_pool_failure;
+    Alcotest.test_case "engine failure leaves database consistent" `Quick
+      test_engine_failure_database;
   ]

@@ -61,7 +61,12 @@ let stats_tuple s =
       s.S.probes,
       s.S.subqueries ),
     (s.S.overdeleted, s.S.rederived, s.S.delta_firings),
-    (s.S.par_jobs, s.S.par_rounds, s.S.par_tasks, s.S.par_wall_s, s.S.par_busy_s),
+    ( s.S.par_jobs,
+      s.S.par_rounds,
+      s.S.par_fallback_rounds,
+      s.S.par_tasks,
+      s.S.par_wall_s,
+      s.S.par_busy_s ),
     S.facts_for s sym )
 
 let fill i =
@@ -74,6 +79,7 @@ let fill i =
   s.S.delta_firings <- 3 * i;
   s.S.par_jobs <- i;
   s.S.par_rounds <- i + 1;
+  s.S.par_fallback_rounds <- 2 * i;
   s.S.par_tasks <- 5 * i;
   s.S.par_wall_s <- 0.25 *. float_of_int i;
   s.S.par_busy_s <- 0.75 *. float_of_int i;
@@ -111,6 +117,41 @@ let test_merge_commutative_associative () =
   Alcotest.(check int) "par_tasks sums" 25 m.S.par_tasks;
   Alcotest.(check (float 1e-9)) "par_wall_s sums" 1.25 m.S.par_wall_s;
   Alcotest.(check (float 1e-9)) "par_busy_s sums" 3.75 m.S.par_busy_s
+
+(* regression (PR 6): the parallel engine's per-slice probe correction
+   could underflow a worker's counter; absorbing a negative counter
+   would silently corrupt every later report, so absorb rejects it on
+   either side and leaves [into] untouched *)
+let test_absorb_rejects_negative_counters () =
+  let check_rejected label src =
+    let into = fill 2 in
+    let before = stats_tuple into in
+    (match S.absorb ~into src with
+    | () -> Alcotest.failf "%s: absorb accepted a negative counter" label
+    | exception Invalid_argument _ -> ());
+    Alcotest.(check bool) (label ^ ": into is untouched") true
+      (stats_tuple into = before)
+  in
+  let negative field =
+    let s = fill 1 in
+    field s;
+    s
+  in
+  check_rejected "probes" (negative (fun s -> s.S.probes <- -1));
+  check_rejected "facts" (negative (fun s -> s.S.facts <- -3));
+  check_rejected "par_tasks" (negative (fun s -> s.S.par_tasks <- -2));
+  check_rejected "par_fallback_rounds"
+    (negative (fun s -> s.S.par_fallback_rounds <- -1));
+  (* a negative counter in the destination is just as much a bug *)
+  let into = fill 1 in
+  into.S.rederivations <- -5;
+  (match S.absorb ~into (fill 2) with
+  | () -> Alcotest.fail "absorb accepted a negative destination"
+  | exception Invalid_argument _ -> ());
+  (* all-zero and positive stats still absorb fine *)
+  let into = S.create () in
+  S.absorb ~into (fill 3);
+  Alcotest.(check int) "normal absorb unaffected" 3 into.S.iterations
 
 (* gc counters are per-domain: a parallel phase's total is the sum of
    each domain's delta, folded with gc_add from the gc_zero identity *)
@@ -202,6 +243,8 @@ let suite =
     Alcotest.test_case "absorb equals merge" `Quick test_absorb_equals_merge;
     Alcotest.test_case "merge commutative and associative" `Quick
       test_merge_commutative_associative;
+    Alcotest.test_case "absorb rejects negative counters" `Quick
+      test_absorb_rejects_negative_counters;
     Alcotest.test_case "gc_add" `Quick test_gc_add;
     Alcotest.test_case "engine consistency" `Quick test_engine_counts_are_consistent;
     Alcotest.test_case "probes skip missing relations" `Quick

@@ -54,6 +54,69 @@ let test_same_generation_semantics () =
       | s -> Alcotest.failf "unexpected node %s" s)
     r.Magic_core.Rewrite.answers
 
+let test_dense_graph () =
+  let a = G.dense_graph ~nodes:30 ~degree:4 ~seed:5 () in
+  let b = G.dense_graph ~nodes:30 ~degree:4 ~seed:5 () in
+  Alcotest.(check bool) "same seed same graph" true (List.equal Atom.equal a b);
+  Alcotest.(check int) "nodes * degree edges" (30 * 4) (List.length a);
+  Alcotest.(check int)
+    "distinct edges" (30 * 4)
+    (List.length (List.sort_uniq Atom.compare a));
+  (* exactly [degree] out-edges per node, none of them self-loops *)
+  let out = Hashtbl.create 30 in
+  List.iter
+    (fun at ->
+      match at.Atom.args with
+      | [ src; dst ] ->
+        Alcotest.(check bool) "no self-loop" false (Term.equal src dst);
+        Hashtbl.replace out src (1 + Option.value ~default:0 (Hashtbl.find_opt out src))
+      | _ -> Alcotest.fail "binary edges")
+    a;
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "out-degree" 4 n) out;
+  Alcotest.(check int) "every node emits" 30 (Hashtbl.length out)
+
+let test_grid () =
+  let facts = G.grid ~width:4 ~height:3 () in
+  (* right edges: (4-1)*3; down edges: 4*(3-1) *)
+  Alcotest.(check int) "edge count" ((3 * 3) + (4 * 2)) (List.length facts);
+  Alcotest.(check bool)
+    "has a right edge" true
+    (List.exists (Atom.equal (atom "edge(g_0_0, g_1_0)")) facts);
+  Alcotest.(check bool)
+    "has a down edge" true
+    (List.exists (Atom.equal (atom "edge(g_0_0, g_0_1)")) facts);
+  (* reachability from the corner covers every cell but the corner *)
+  let edb = G.db facts in
+  let r =
+    run_method "gms" Workload.Programs.transitive_closure
+      (Workload.Programs.tc_query (term "g_0_0"))
+      edb
+  in
+  Alcotest.(check int)
+    "corner reaches all other cells" ((4 * 3) - 1)
+    (List.length r.Magic_core.Rewrite.answers)
+
+let test_bushy_same_generation () =
+  let b = 3 and d = 3 in
+  let facts = G.bushy_same_generation ~branching:b ~depth:d () in
+  let count p = List.length (List.filter (fun a -> a.Atom.pred = p) facts) in
+  (* one up and one down edge per non-root node: 3 + 9 + 27 *)
+  let nodes = 3 + 9 + 27 in
+  Alcotest.(check int) "ups" nodes (count "up");
+  Alcotest.(check int) "downs" nodes (count "down");
+  (* flat: b*(b-1) ordered sibling pairs per internal node (1 + 3 + 9) *)
+  Alcotest.(check int) "flats" (13 * b * (b - 1)) (count "flat");
+  (* sg(child 1 of the root) = every other node of its level, per level *)
+  let edb = G.db facts in
+  let r =
+    run_method "gms" Workload.Programs.same_generation_linear
+      (Workload.Programs.same_generation_query (G.node "bsg" 1))
+      edb
+  in
+  (* node 1 is at level 1 (population 3): its generation holds the other
+     2 level-1 nodes — and nothing deeper, since sg is level-preserving *)
+  Alcotest.(check int) "level mates" 2 (List.length r.Magic_core.Rewrite.answers)
+
 let test_list_of_ints () =
   Alcotest.(check bool)
     "list term" true
@@ -76,6 +139,9 @@ let suite =
     Alcotest.test_case "random graph" `Quick test_random_graph_deterministic;
     Alcotest.test_case "same-generation shape" `Quick test_same_generation_shape;
     Alcotest.test_case "same-generation semantics" `Quick test_same_generation_semantics;
+    Alcotest.test_case "dense graph" `Quick test_dense_graph;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "bushy same-generation" `Quick test_bushy_same_generation;
     Alcotest.test_case "list of ints" `Quick test_list_of_ints;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
   ]
