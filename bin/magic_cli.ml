@@ -171,14 +171,27 @@ let safety_cmd =
     (T.app (T.app (T.const run) file_arg) sip_arg)
 
 let check_cmd =
-  let run file (_, sip) strategy list_codes =
-    if list_codes then
+  let run file (_, sip) strategy list_codes cost =
+    if list_codes then begin
+      (* grouped by pass of origin, in pipeline order *)
+      let origins =
+        List.fold_left
+          (fun acc (_, _, _, origin) ->
+            if List.mem origin acc then acc else acc @ [ origin ])
+          [] Analysis.codes
+      in
       List.iter
-        (fun (code, sev, doc) ->
-          Fmt.pr "%s  %-7s  %s@." code
-            (Analysis.Diagnostic.severity_string sev)
-            doc)
-        Analysis.codes
+        (fun origin ->
+          Fmt.pr "%s:@." origin;
+          List.iter
+            (fun (code, sev, doc, o) ->
+              if o = origin then
+                Fmt.pr "  %s  %-7s  %s@." code
+                  (Analysis.Diagnostic.severity_string sev)
+                  doc)
+            Analysis.codes)
+        origins
+    end
     else begin
       let file =
         match file with
@@ -194,7 +207,13 @@ let check_cmd =
       let ds = Analysis.check_text ~sip ~rewritings src in
       render_diagnostics ~src ~file ds;
       Fmt.pr "%s: %a@." file Analysis.Diagnostic.summary ds;
-      if Analysis.Diagnostic.has_errors ds then exit 1
+      if Analysis.Diagnostic.has_errors ds then exit 1;
+      if cost then begin
+        (* clean program: estimate and rank the evaluation strategies *)
+        let program, query, db = load file in
+        let choice = Analysis.choose_strategy ~db program query in
+        Fmt.pr "%a@." Analysis.Pass_cost.pp_report choice
+      end
     end
   in
   let strategy_opt =
@@ -214,7 +233,17 @@ let check_cmd =
                 gc or gsc); default is all four.")
   in
   let list_codes_arg =
-    Arg.(value & flag & info [ "codes" ] ~doc:"List the diagnostic codes and exit.")
+    Arg.(
+      value & flag
+      & info [ "codes" ] ~doc:"List the diagnostic codes grouped by pass and exit.")
+  in
+  let cost_arg =
+    Arg.(
+      value & flag
+      & info [ "cost" ]
+          ~doc:"After a clean check, print the cost analysis: estimated \
+                cardinalities, probes and rounds for every candidate \
+                evaluation strategy, ranked.")
   in
   let opt_file_arg =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Datalog source file.")
@@ -223,8 +252,10 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Statically analyze a source file: safety, stratification, sips, \
              lints and rewrite invariants; exit 1 when any error is found.")
-    (T.app (T.app (T.app (T.app (T.const run) opt_file_arg) sip_arg) strategy_opt)
-       list_codes_arg)
+    (T.app
+       (T.app (T.app (T.app (T.app (T.const run) opt_file_arg) sip_arg) strategy_opt)
+          list_codes_arg)
+       cost_arg)
 
 let method_conv =
   let parse s =
@@ -265,6 +296,21 @@ let fallback_arg =
 let eval_cmd =
   let run file (name, method_) max_facts jobs chunk fallback json =
     let program, query, edb = load file in
+    (* "auto": cost-based selection over the measured EDB *)
+    let name, method_, cost =
+      match method_ with
+      | Some m -> (name, m, None)
+      | None ->
+        let choice = Analysis.choose_strategy ~db:edb program query in
+        let w = choice.Analysis.Pass_cost.winner in
+        if not json then
+          Fmt.pr "%% auto selected %s (score %.3g, est_facts %.3g, est_probes %.3g)@."
+            w.Analysis.Pass_cost.name w.Analysis.Pass_cost.score
+            w.Analysis.Pass_cost.est_facts w.Analysis.Pass_cost.est_probes;
+        ( "auto:" ^ w.Analysis.Pass_cost.name,
+          w.Analysis.Pass_cost.method_,
+          Some (w.Analysis.Pass_cost.est_facts, w.Analysis.Pass_cost.est_probes) )
+    in
     let r, time_s =
       timed (fun () ->
           C.Rewrite.run ~max_facts ~jobs ?chunk ?fallback method_ program query ~edb)
@@ -275,7 +321,7 @@ let eval_cmd =
            ~workload:(Filename.basename file)
            ~meth:name
            ~status:(status_string r.C.Rewrite.status)
-           r.C.Rewrite.stats ~time_s
+           ?cost r.C.Rewrite.stats ~time_s
            ~answers:(List.length r.C.Rewrite.answers))
     else begin
       List.iter (fun t -> Fmt.pr "%a@." Engine.Tuple.pp t) r.C.Rewrite.answers;
@@ -287,13 +333,28 @@ let eval_cmd =
         Engine.Stats.pp r.C.Rewrite.stats
     end
   in
+  let eval_method_conv =
+    let parse s =
+      if s = "auto" then Stdlib.Ok ("auto", None)
+      else
+        match List.assoc_opt s C.Rewrite.methods with
+        | Some m -> Stdlib.Ok (s, Some m)
+        | None ->
+          Stdlib.Error
+            (`Msg
+               (Fmt.str "unknown method %S (expected auto or one of %s)" s
+                  (String.concat ", " (List.map fst C.Rewrite.methods))))
+    in
+    Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
+  in
   let method_arg =
     Arg.(
       value
-      & opt method_conv ("gms", List.assoc "gms" C.Rewrite.methods)
-      & info [ "method"; "m" ] ~docv:"M"
-          ~doc:"Evaluation method: naive, seminaive, sld, tabled, gms, gsms, gc, gsc, \
-                gc-sj or gsc-sj.")
+      & opt eval_method_conv ("gms", Some (List.assoc "gms" C.Rewrite.methods))
+      & info [ "method"; "m"; "strategy" ] ~docv:"M"
+          ~doc:"Evaluation method: naive, seminaive, sld, tabled, gms, gsms, \
+                gms-chain, gsms-chain, gc, gsc, gc-sj, gsc-sj — or auto to let \
+                the cost analysis pick from the EDB statistics.")
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate the query with one method and print the answers.")
@@ -346,8 +407,27 @@ let explain_cmd =
     (T.app (T.app (T.app (T.const run) file_arg) method_arg) fact_arg)
 
 let compare_cmd =
-  let run file max_facts json =
+  let run file max_facts strategy json =
     let program, query, edb = load file in
+    (* the row set: every method by default, one named method, or the
+       full set plus a cost-selected "auto:" row for side-by-side *)
+    let rows_spec =
+      match strategy with
+      | None -> C.Rewrite.methods
+      | Some "auto" ->
+        let choice = Analysis.choose_strategy ~db:edb program query in
+        let w = choice.Analysis.Pass_cost.winner in
+        C.Rewrite.methods
+        @ [ ("auto:" ^ w.Analysis.Pass_cost.name, w.Analysis.Pass_cost.method_) ]
+      | Some name -> (
+        match List.assoc_opt name C.Rewrite.methods with
+        | Some m -> [ (name, m) ]
+        | None ->
+          Fmt.epr "magic compare: unknown strategy %S (expected auto or one of %s)@."
+            name
+            (String.concat ", " (List.map fst C.Rewrite.methods));
+          exit 2)
+    in
     if json then begin
       let rows =
         List.map
@@ -361,27 +441,36 @@ let compare_cmd =
               ~status:(status_string r.C.Rewrite.status)
               r.C.Rewrite.stats ~time_s
               ~answers:(List.length r.C.Rewrite.answers))
-          C.Rewrite.methods
+          rows_spec
       in
       Fmt.pr "%s@." (Engine.Json_out.arr rows)
     end
     else begin
-      Fmt.pr "%-10s %-9s %8s %10s %10s %10s %8s@." "method" "status" "answers" "facts"
+      Fmt.pr "%-14s %-9s %8s %10s %10s %10s %8s@." "method" "status" "answers" "facts"
         "firings" "probes" "iters";
       List.iter
         (fun (name, method_) ->
           let r = C.Rewrite.run ~max_facts method_ program query ~edb in
-          Fmt.pr "%-10s %-9s %8d %10d %10d %10d %8d@." name
+          Fmt.pr "%-14s %-9s %8d %10d %10d %10d %8d@." name
             (status_string r.C.Rewrite.status)
             (List.length r.C.Rewrite.answers)
             r.C.Rewrite.stats.Engine.Stats.facts r.C.Rewrite.stats.Engine.Stats.firings
             r.C.Rewrite.stats.Engine.Stats.probes r.C.Rewrite.stats.Engine.Stats.iterations)
-        C.Rewrite.methods
+        rows_spec
     end
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy"; "s" ] ~docv:"S"
+          ~doc:"Restrict to one method, or 'auto' to add a cost-selected row \
+                next to the hand-picked ones.")
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every method on the query and tabulate statistics.")
-    (T.app (T.app (T.app (T.const run) file_arg) max_facts_arg) json_arg)
+    (T.app (T.app (T.app (T.app (T.const run) file_arg) max_facts_arg) strategy_arg)
+       json_arg)
 
 let session_cmd =
   let run file script_path (strategy_name, strategy) max_facts json =
@@ -400,6 +489,9 @@ let session_cmd =
     let workload = Filename.basename script_path in
     let rows = ref [] in
     let session = ref (Incr.Session.create ~strategy ~max_facts program query ~edb) in
+    if (not json) && strategy = Incr.Session.Auto then
+      Fmt.pr "%% session strategy=%s (auto)@."
+        (Incr.Session.strategy_to_string (Incr.Session.strategy !session));
     let pending = ref [] in
     let flush () =
       match List.rev !pending with
@@ -471,7 +563,9 @@ let session_cmd =
         | Some st -> Stdlib.Ok (s, st)
         | None ->
           Stdlib.Error
-            (`Msg (Fmt.str "unknown session strategy %S (expected original, gms or gsms)" s))
+            (`Msg
+               (Fmt.str
+                  "unknown session strategy %S (expected original, gms, gsms or auto)" s))
       in
       Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
     in
@@ -479,8 +573,10 @@ let session_cmd =
       value
       & opt strategy_conv ("gms", Incr.Session.GMS)
       & info [ "strategy"; "s" ] ~docv:"S"
-          ~doc:"Session strategy: original, gms or gsms (counting strategies \
-                have query-specific indices and cannot be maintained).")
+          ~doc:"Session strategy: original, gms, gsms — or auto to pick \
+                between gms and gsms from the EDB statistics (counting \
+                strategies have query-specific indices and cannot be \
+                maintained).")
   in
   Cmd.v
     (Cmd.info "session"

@@ -17,6 +17,8 @@ module Pass_safety = Pass_safety
 module Pass_deps = Pass_deps
 module Pass_lints = Pass_lints
 module Pass_sip = Pass_sip
+module Pass_card = Pass_card
+module Pass_cost = Pass_cost
 module Rewrite_lint = Rewrite_lint
 
 let all_rewritings = [ C.Rewrite.GMS; C.Rewrite.GSMS; C.Rewrite.GC; C.Rewrite.GSC ]
@@ -139,30 +141,47 @@ let check_text ?(sip = C.Sip.full_left_to_right) ?(rewritings = all_rewritings)
 let preflight ?srcmap ?query program =
   Diagnostic.errors (check ?srcmap ~rewritings:[] ?query program)
 
-let codes : (string * Diagnostic.severity * string) list =
+(* strategy selection (Pass_cost over Pass_card) *)
+
+type choice = Pass_cost.t
+
+let choose_strategy = Pass_cost.choose
+
+let choose_session_strategy ?db program query =
+  let c = Pass_cost.choose ?db ~only:[ "gms"; "gsms" ] program query in
+  match c.Pass_cost.winner.Pass_cost.name with
+  | "gsms" -> (`GSMS, c)
+  | _ -> (`GMS, c)
+
+(* the registry: (code, severity, one-line summary, pass of origin) *)
+let codes : (string * Diagnostic.severity * string * string) list =
   [
-    ("E001", Diagnostic.Error, "variable of a negated literal is not range-restricted");
-    ("E002", Diagnostic.Error, "comparison over a variable that is never bound");
-    ("E003", Diagnostic.Error, "head variable unbindable under the query's binding pattern");
-    ("E010", Diagnostic.Error, "negation through recursion (not stratifiable)");
-    ("E020", Diagnostic.Error, "predicate used with inconsistent arities");
-    ("E030", Diagnostic.Error, "invalid sideways information passing graph");
-    ("E031", Diagnostic.Error, "sip arc draws bindings from a later literal");
-    ("E040", Diagnostic.Error, "rewritten program: inconsistent predicate arity");
-    ("E041", Diagnostic.Error, "rewritten program: generated predicate never defined or seeded");
-    ("E042", Diagnostic.Error, "rewritten program: generated predicate arity contradicts its role");
-    ("E043", Diagnostic.Error, "rewritten program: malformed counting index term");
-    ("E044", Diagnostic.Error, "rewritten program: missing or ill-formed magic seed");
-    ("E045", Diagnostic.Error, "rewritten program: negated literal lost range restriction");
-    ("E046", Diagnostic.Error, "rewritten program: not stratifiable");
-    ("E047", Diagnostic.Error, "rewritten program: modified rule lacks its magic guard");
-    ("E049", Diagnostic.Error, "rewriting aborted with an internal error");
-    ("E100", Diagnostic.Error, "syntax error");
-    ("W001", Diagnostic.Warning, "head variable not bound by the positive body");
-    ("W010", Diagnostic.Warning, "dead rule: unreachable from the query");
-    ("W011", Diagnostic.Warning, "predicate defined but never used");
-    ("W020", Diagnostic.Warning, "singleton variable");
-    ("W030", Diagnostic.Warning, "rewriting strategy inapplicable to this program");
-    ("W050", Diagnostic.Warning, "magic rewriting may not terminate (Section 10)");
-    ("W051", Diagnostic.Warning, "counting indices may diverge (Section 10)");
+    ("E100", Diagnostic.Error, "syntax error", "parser");
+    ("E020", Diagnostic.Error, "predicate used with inconsistent arities", "pass_lints");
+    ("W020", Diagnostic.Warning, "singleton variable", "pass_lints");
+    ("W021", Diagnostic.Warning, "'_'-prefixed variable occurs more than once", "pass_lints");
+    ("E001", Diagnostic.Error, "variable of a negated literal is not range-restricted", "pass_safety");
+    ("E002", Diagnostic.Error, "comparison over a variable that is never bound", "pass_safety");
+    ("W001", Diagnostic.Warning, "head variable not bound by the positive body", "pass_safety");
+    ("E010", Diagnostic.Error, "negation through recursion (not stratifiable)", "pass_deps");
+    ("W010", Diagnostic.Warning, "dead rule: unreachable from the query", "pass_deps");
+    ("W011", Diagnostic.Warning, "predicate defined but never used", "pass_deps");
+    ("E003", Diagnostic.Error, "head variable unbindable under the query's binding pattern", "pass_sip");
+    ("E030", Diagnostic.Error, "invalid sideways information passing graph", "pass_sip");
+    ("E031", Diagnostic.Error, "sip arc draws bindings from a later literal", "pass_sip");
+    ("W050", Diagnostic.Warning, "magic rewriting may not terminate (Section 10)", "section10");
+    ("W051", Diagnostic.Warning, "counting indices may diverge (Section 10)", "section10");
+    ("E040", Diagnostic.Error, "rewritten program: inconsistent predicate arity", "rewrite_lint");
+    ("E041", Diagnostic.Error, "rewritten program: generated predicate never defined or seeded", "rewrite_lint");
+    ("E042", Diagnostic.Error, "rewritten program: generated predicate arity contradicts its role", "rewrite_lint");
+    ("E043", Diagnostic.Error, "rewritten program: malformed counting index term", "rewrite_lint");
+    ("E044", Diagnostic.Error, "rewritten program: missing or ill-formed magic seed", "rewrite_lint");
+    ("E045", Diagnostic.Error, "rewritten program: negated literal lost range restriction", "rewrite_lint");
+    ("E046", Diagnostic.Error, "rewritten program: not stratifiable", "rewrite_lint");
+    ("E047", Diagnostic.Error, "rewritten program: modified rule lacks its magic guard", "rewrite_lint");
+    ("E049", Diagnostic.Error, "rewriting aborted with an internal error", "driver");
+    ("W030", Diagnostic.Warning, "rewriting strategy inapplicable to this program", "driver");
+    ("W060", Diagnostic.Warning, "recursive cardinality estimate widened (coarse ranking)", "pass_card");
+    ("W061", Diagnostic.Warning, "no extensional statistics: symbolic cost estimates", "pass_card");
+    ("W062", Diagnostic.Warning, "query bindings unrestrictive: direct evaluation selected", "pass_cost");
   ]

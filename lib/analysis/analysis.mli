@@ -8,11 +8,15 @@
     + dependency analysis: stratified negation with a concrete cycle
       witness, dead rules, unused predicates ([E010], [W010], [W011]) —
       {!Pass_deps};
-    + singleton-variable lint ([W020]) — {!Pass_lints};
+    + singleton-variable lints ([W020], [W021]) — {!Pass_lints};
     + with a query: sip validity and head bindability on the adorned rule
       set ([E003], [E030], [E031]) — {!Pass_sip}; the Section 10 safety
       report ([W050], [W051]); and the rewrite-invariant linter
       ([E040]-[E047]) over each requested strategy — {!Rewrite_lint}.
+
+    On demand (the [--cost]/[--strategy auto] paths, not the default
+    pipeline): cardinality estimation ([W060], [W061]) — {!Pass_card} —
+    and cost-based strategy selection ([W062]) — {!Pass_cost}.
 
     Exit-worthiness is the severity: a program is rejected iff some
     diagnostic is an error; warnings flag constructs that evaluate but
@@ -26,6 +30,8 @@ module Pass_safety = Pass_safety
 module Pass_deps = Pass_deps
 module Pass_lints = Pass_lints
 module Pass_sip = Pass_sip
+module Pass_card = Pass_card
+module Pass_cost = Pass_cost
 module Rewrite_lint = Rewrite_lint
 
 val all_rewritings : C.Rewrite.rewriting list
@@ -57,5 +63,23 @@ val preflight :
     returned diagnostic is an {!Diagnostic.Error} that would make the
     engine raise or loop.  Used by the CLI before [eval]/[explain]/[compare]. *)
 
-val codes : (string * Diagnostic.severity * string) list
-(** The stable diagnostic code table (code, severity, one-line summary). *)
+type choice = Pass_cost.t
+
+val choose_strategy :
+  ?db:Engine.Database.t -> ?only:string list -> Program.t -> Atom.t -> choice
+(** Cost-based strategy selection: rank the candidate evaluation
+    strategies for a fact-free program, query and extensional database
+    — see {!Pass_cost.choose}. *)
+
+val choose_session_strategy :
+  ?db:Engine.Database.t ->
+  Program.t ->
+  Atom.t ->
+  [ `GMS | `GSMS ] * choice
+(** The session variant: pick among the rewrites a warm
+    {!Incr.Session} can materialize and serve dynamic magic seeds
+    from. *)
+
+val codes : (string * Diagnostic.severity * string * string) list
+(** The stable diagnostic code table (code, severity, one-line summary,
+    pass of origin), grouped by pass. *)

@@ -1,0 +1,493 @@
+(* Cardinality analysis: per-predicate (card, per-column distinct)
+   estimates propagated through rule bodies with join/projection
+   arithmetic, fixpointed per Tarjan SCC with an extrapolating widening.
+
+   The numbers are deliberate over-estimates compared against each
+   other by Pass_cost — they are never used as hard limits, so the
+   arithmetic favours simplicity and monotonicity over tightness. *)
+
+open Datalog
+
+type stat = { card : float; distinct : float array }
+
+let default_universe = 100.
+let default_card = 1000.
+let max_rounds = 12
+let huge = 1e18
+
+type t = {
+  stats : (Symbol.t, stat) Hashtbl.t;
+  universe : float;
+  measured : bool;
+  widened : Symbol.t list;
+  derived : Symbol.Set.t;
+  probes : float;
+  rounds : float;
+}
+
+let universe t = t.universe
+let measured t = t.measured
+let widened t = t.widened
+
+let zero_stat arity = { card = 0.; distinct = Array.make (max arity 0) 1. }
+
+let stat t sym =
+  match Hashtbl.find_opt t.stats sym with
+  | Some s -> s
+  | None -> zero_stat sym.Symbol.arity
+
+let total_derived t =
+  Symbol.Set.fold (fun sym acc -> acc +. (stat t sym).card) t.derived 0.
+
+let est_rounds t = t.rounds
+let est_probes t = t.probes
+
+(* ---- extensional statistics ---- *)
+
+let stat_of_facts arity facts =
+  let n = List.length facts in
+  let cols = Array.init (max arity 0) (fun _ -> Hashtbl.create 16) in
+  List.iter
+    (fun (a : Atom.t) ->
+      List.iteri
+        (fun i arg -> if i < arity then Hashtbl.replace cols.(i) arg ())
+        a.Atom.args)
+    facts;
+  {
+    card = float_of_int n;
+    distinct = Array.map (fun h -> float_of_int (max 1 (Hashtbl.length h))) cols;
+  }
+
+let universe_of_db db =
+  let h = Hashtbl.create 256 in
+  List.iter
+    (fun (a : Atom.t) -> List.iter (fun arg -> Hashtbl.replace h arg ()) a.Atom.args)
+    (Engine.Database.all_facts db);
+  float_of_int (max 2 (Hashtbl.length h))
+
+(* ---- per-rule estimation ---- *)
+
+let clamp1 x = Float.max 1. x
+
+(* distinct-value estimate for a term under the variable environment *)
+let term_distinct var_d universe (t : Term.t) =
+  if Term.is_ground t then 1.
+  else
+    List.fold_left
+      (fun acc v ->
+        acc
+        *. (match Hashtbl.find_opt var_d v with Some d -> d | None -> universe))
+      1. (Term.vars t)
+
+(* Walk the body left to right keeping a frontier (number of partial
+   derivations alive) and a per-variable distinct estimate.  A positive
+   literal over stat s with a set of already-bound columns matches
+   [s.card / prod (distinct of bound columns)] tuples per frontier row;
+   negation and comparisons filter at selectivity 1/2; a binding
+   equality transfers distincts without shrinking the frontier.
+   Returns (probe sum, output estimate, per-head-column contribution). *)
+let estimate_rule lookup universe (r : Rule.t) =
+  let var_d : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let bound v = Hashtbl.mem var_d v in
+  let term_bound t = List.for_all bound (Term.vars t) in
+  let bind_term d (t : Term.t) =
+    List.iter
+      (fun v ->
+        let d' =
+          match Hashtbl.find_opt var_d v with
+          | Some e -> Float.min e d
+          | None -> d
+        in
+        Hashtbl.replace var_d v (clamp1 d'))
+      (Term.vars t)
+  in
+  let frontier = ref 1. in
+  let probes = ref 0. in
+  List.iter
+    (fun lit ->
+      let a = Rule.atom_of_literal lit in
+      probes := Float.min huge (!probes +. !frontier);
+      if Atom.is_builtin a then begin
+        match (a.Atom.pred, a.Atom.args) with
+        | "=", [ x; y ] when term_bound x && not (term_bound y) ->
+          bind_term (term_distinct var_d universe x) y
+        | "=", [ x; y ] when term_bound y && not (term_bound x) ->
+          bind_term (term_distinct var_d universe y) x
+        | _ -> frontier := !frontier *. 0.5
+      end
+      else begin
+        let s = lookup (Atom.symbol a) in
+        match lit with
+        | Rule.Neg _ -> frontier := !frontier *. 0.5
+        | Rule.Pos _ ->
+          let sel = ref 1. in
+          List.iteri
+            (fun i arg ->
+              if i < Array.length s.distinct && term_bound arg then
+                sel :=
+                  !sel /. clamp1 (Float.min s.distinct.(i) (clamp1 s.card)))
+            a.Atom.args;
+          frontier := Float.min huge (!frontier *. (s.card *. !sel));
+          List.iteri
+            (fun i arg ->
+              let d =
+                if i < Array.length s.distinct then s.distinct.(i) else universe
+              in
+              bind_term d arg)
+            a.Atom.args
+      end)
+    r.Rule.body;
+  let head_contrib =
+    List.map
+      (fun arg -> term_distinct var_d universe arg)
+      r.Rule.head.Atom.args
+  in
+  let head_cap = List.fold_left (fun a b -> Float.min huge (a *. b)) 1. head_contrib in
+  let out = Float.max 0. (Float.min !frontier head_cap) in
+  (!probes, out, Array.of_list head_contrib)
+
+(* ---- the analysis ---- *)
+
+let analyze ?db ?defaults ?universe:universe_override
+    ?(col_caps = fun _ -> None) ?rounds_bound program =
+  let defaults =
+    match defaults with Some d -> d | None -> db = None
+  in
+  let measured = not defaults in
+  let universe =
+    match universe_override with
+    | Some u -> clamp1 u
+    | None -> (
+      match db with
+      | Some d when Engine.Database.total d > 0 -> universe_of_db d
+      | _ -> default_universe)
+  in
+  let rounds_bound =
+    clamp1 (match rounds_bound with Some r -> r | None -> universe)
+  in
+  let derived = Program.derived program in
+  let symbols =
+    let acc = ref (Program.predicates program) in
+    (match db with
+    | Some d ->
+      List.iter (fun s -> acc := Symbol.Set.add s !acc) (Engine.Database.symbols d)
+    | None -> ());
+    !acc
+  in
+  (* caps: per-column distinct bound, defaulting to the universe *)
+  let caps_of sym =
+    match col_caps sym with
+    | Some a -> Array.map clamp1 a
+    | None -> Array.make (max sym.Symbol.arity 0) universe
+  in
+  let card_cap_of sym =
+    Array.fold_left (fun a c -> Float.min huge (a *. c)) 1. (caps_of sym)
+  in
+  (* initial stats: extensional relations measured from the database
+     (symbolic defaults when absent), derived predicates start from any
+     seed facts the database holds for them *)
+  let init : (Symbol.t, stat) Hashtbl.t = Hashtbl.create 32 in
+  let stats : (Symbol.t, stat) Hashtbl.t = Hashtbl.create 32 in
+  Symbol.Set.iter
+    (fun sym ->
+      let facts =
+        match db with Some d -> Engine.Database.facts d sym | None -> []
+      in
+      let s =
+        if facts <> [] then stat_of_facts sym.Symbol.arity facts
+        else if (not (Symbol.Set.mem sym derived)) && defaults then
+          {
+            card = default_card;
+            distinct =
+              Array.make (max sym.Symbol.arity 0)
+                (Float.min universe default_card);
+          }
+        else zero_stat sym.Symbol.arity
+      in
+      Hashtbl.replace init sym s;
+      Hashtbl.replace stats sym s)
+    symbols;
+  let lookup sym =
+    match Hashtbl.find_opt stats sym with
+    | Some s -> s
+    | None -> zero_stat sym.Symbol.arity
+  in
+  (* one synchronous recomputation of a predicate from its rules *)
+  let recompute sym =
+    let init_s =
+      match Hashtbl.find_opt init sym with
+      | Some s -> s
+      | None -> zero_stat sym.Symbol.arity
+    in
+    let caps = caps_of sym in
+    let out = ref init_s.card in
+    let cols = Array.copy init_s.distinct in
+    List.iter
+      (fun (_, r) ->
+        let _, rule_out, contrib = estimate_rule lookup universe r in
+        out := Float.min huge (!out +. rule_out);
+        Array.iteri
+          (fun i c ->
+            if i < Array.length contrib then
+              cols.(i) <- Float.min huge (c +. contrib.(i)))
+          cols)
+      (Program.rules_for program sym);
+    let cols = Array.mapi (fun i c -> Float.min caps.(i) (clamp1 c)) cols in
+    let card =
+      Float.min !out
+        (Array.fold_left (fun a c -> Float.min huge (a *. c)) 1. cols)
+    in
+    let cols = Array.map (fun c -> Float.min c (clamp1 card)) cols in
+    { card; distinct = cols }
+  in
+  let widened = ref [] in
+  let rounds = ref 1. in
+  let process_scc scc =
+    let members = List.filter (fun s -> Symbol.Set.mem s derived) scc in
+    if members <> [] then begin
+      let recursive =
+        match members with
+        | [ s ] ->
+          List.exists
+            (fun (_, r) ->
+              List.exists
+                (fun a -> Symbol.equal (Atom.symbol a) s)
+                (Rule.body_atoms r))
+            (Program.rules_for program s)
+        | _ -> true
+      in
+      if not recursive then
+        List.iter (fun s -> Hashtbl.replace stats s (recompute s)) members
+      else begin
+        (* One recompute round advances each member from the others'
+           previous stats, so a derivation hop through an s-member SCC
+           (magic -> supplementary -> magic) costs s rounds; budget the
+           fixpoint for the full round horizon at that rate and widen
+           only past it — the rounds are pure float arithmetic, and
+           truncating early systematically undershoots the predicates
+           later in the chain. *)
+        let budget =
+          int_of_float
+            (Float.min 4096.
+               (Float.max (float_of_int max_rounds)
+                  ((rounds_bound *. float_of_int (List.length members)) +. 4.)))
+        in
+        let stable prev =
+          List.for_all2
+            (fun s p ->
+              Float.abs ((lookup s).card -. p) <= 0.01 *. clamp1 p)
+            members prev
+        in
+        let step () =
+          let next = List.map (fun s -> (s, recompute s)) members in
+          List.iter (fun (s, st) -> Hashtbl.replace stats s st) next
+        in
+        let rec go k =
+          let prev = List.map (fun s -> (lookup s).card) members in
+          step ();
+          if stable prev then rounds := Float.max !rounds (float_of_int k)
+          else if k >= budget then begin
+            (* extrapolating widening: project the last round's growth
+               linearly out to the round horizon, under the column caps *)
+            List.iter2
+              (fun s p ->
+                let now = lookup s in
+                let delta = Float.max 0. (now.card -. p) in
+                let projected =
+                  Float.min (card_cap_of s)
+                    (now.card +. (delta *. Float.max 0. (rounds_bound -. float_of_int k)))
+                in
+                let caps = caps_of s in
+                let distinct =
+                  Array.mapi
+                    (fun i _ -> Float.min caps.(i) (clamp1 projected))
+                    now.distinct
+                in
+                Hashtbl.replace stats s { card = projected; distinct })
+              members prev;
+            widened := members @ !widened;
+            rounds := Float.max !rounds rounds_bound
+          end
+          else go (k + 1)
+        in
+        go 1
+      end
+    end
+  in
+  List.iter process_scc (Program.sccs program);
+  (* total probe estimate under the final stats *)
+  let probes =
+    List.fold_left
+      (fun acc r ->
+        let p, _, _ = estimate_rule lookup universe r in
+        Float.min huge (acc +. p))
+      0. (Program.rules program)
+  in
+  {
+    stats;
+    universe;
+    measured;
+    widened = List.sort_uniq Symbol.compare !widened;
+    derived;
+    probes;
+    rounds = !rounds;
+  }
+
+let diagnostics t =
+  let w061 =
+    if t.measured then []
+    else
+      [
+        Diagnostic.warning ~code:"W061"
+          (Fmt.str
+             "no extensional statistics: cardinality estimates use symbolic \
+              defaults (%.0f facts per base relation, %.0f-constant domain)"
+             default_card t.universe);
+      ]
+  in
+  let w060 =
+    match t.widened with
+    | [] -> []
+    | syms ->
+      [
+        Diagnostic.warning ~code:"W060"
+          (Fmt.str
+             "recursive cardinalities for %s did not stabilize within the \
+              fixpoint budget; estimates were widened to the %.0f-round \
+              horizon"
+             (String.concat ", "
+                (List.map (fun (s : Symbol.t) -> s.Symbol.name) syms))
+             t.rounds);
+      ]
+  in
+  w061 @ w060
+
+(* ---- data-shape analysis ---- *)
+
+type shape = {
+  acyclic : bool;
+  longest : float;
+  total_paths : float;
+  saturated : bool;
+  reachable : float;
+}
+
+let path_saturation = 1e6
+
+let graph_shape ~edges ~roots =
+  let adj : (Term.t, Term.t list) Hashtbl.t = Hashtbl.create 64 in
+  let nodes : (Term.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let indeg : (Term.t, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace nodes u ();
+      Hashtbl.replace nodes v ();
+      Hashtbl.replace adj u
+        (v :: Option.value ~default:[] (Hashtbl.find_opt adj u));
+      Hashtbl.replace indeg v (1 + Option.value ~default:0 (Hashtbl.find_opt indeg v)))
+    edges;
+  let succs u = Option.value ~default:[] (Hashtbl.find_opt adj u) in
+  let all_nodes = Hashtbl.fold (fun n () acc -> n :: acc) nodes [] in
+  let roots = List.filter (Hashtbl.mem nodes) roots in
+  let roots =
+    if roots <> [] then roots
+    else
+      match List.filter (fun n -> not (Hashtbl.mem indeg n)) all_nodes with
+      | [] -> all_nodes
+      | sources -> sources
+  in
+  if all_nodes = [] then
+    { acyclic = true; longest = 0.; total_paths = 1.; saturated = false;
+      reachable = 0. }
+  else begin
+    (* iterative DFS from the roots: cycle detection + reachable set *)
+    let color : (Term.t, int) Hashtbl.t = Hashtbl.create 64 in
+    let cyclic = ref false in
+    List.iter
+      (fun root ->
+        if not (Hashtbl.mem color root) then begin
+          let stack = Stack.create () in
+          Hashtbl.replace color root 1;
+          Stack.push (root, ref (succs root)) stack;
+          while not (Stack.is_empty stack) do
+            let u, rest = Stack.top stack in
+            match !rest with
+            | [] ->
+              Hashtbl.replace color u 2;
+              ignore (Stack.pop stack)
+            | v :: tl -> (
+              rest := tl;
+              match Hashtbl.find_opt color v with
+              | Some 1 -> cyclic := true
+              | Some _ -> ()
+              | None ->
+                Hashtbl.replace color v 1;
+                Stack.push (v, ref (succs v)) stack)
+          done
+        end)
+      roots;
+    if !cyclic then
+      { acyclic = false; longest = huge; total_paths = huge; saturated = true;
+        reachable = float_of_int (Hashtbl.length color) }
+    else begin
+      let reachable = Hashtbl.mem color in
+      (* Kahn over the reachable subgraph: longest path + path counts *)
+      let indeg_r : (Term.t, int) Hashtbl.t = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun u _ ->
+          List.iter
+            (fun v ->
+              Hashtbl.replace indeg_r v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt indeg_r v)))
+            (succs u))
+        color;
+      let depth : (Term.t, float) Hashtbl.t = Hashtbl.create 64 in
+      let pc : (Term.t, float) Hashtbl.t = Hashtbl.create 64 in
+      List.iter (fun r -> Hashtbl.replace pc r 1.) roots;
+      let queue = Queue.create () in
+      Hashtbl.iter
+        (fun u _ ->
+          if Option.value ~default:0 (Hashtbl.find_opt indeg_r u) = 0 then
+            Queue.add u queue)
+        color;
+      let longest = ref 0. in
+      let saturated = ref false in
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let du = Option.value ~default:0. (Hashtbl.find_opt depth u) in
+        let pu = Option.value ~default:0. (Hashtbl.find_opt pc u) in
+        longest := Float.max !longest du;
+        List.iter
+          (fun v ->
+            if reachable v then begin
+              Hashtbl.replace depth v
+                (Float.max (du +. 1.)
+                   (Option.value ~default:0. (Hashtbl.find_opt depth v)));
+              let p =
+                pu +. Option.value ~default:0. (Hashtbl.find_opt pc v)
+              in
+              let p =
+                if p >= path_saturation then (
+                  saturated := true;
+                  path_saturation)
+                else p
+              in
+              Hashtbl.replace pc v p;
+              let d = Option.value ~default:0 (Hashtbl.find_opt indeg_r v) - 1 in
+              Hashtbl.replace indeg_r v d;
+              if d = 0 then Queue.add v queue
+            end)
+          (succs u)
+      done;
+      let total =
+        Hashtbl.fold (fun _ p acc -> Float.min 1e9 (acc +. p)) pc 0.
+      in
+      {
+        acyclic = true;
+        longest = !longest;
+        total_paths = Float.max 1. total;
+        saturated = !saturated || total >= path_saturation;
+        reachable = float_of_int (Hashtbl.length color);
+      }
+    end
+  end

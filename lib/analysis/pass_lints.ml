@@ -36,7 +36,8 @@ let arities (ctx : Ctx.t) =
 
 (* W020 — a variable used exactly once in a rule is usually a typo; name
    it with a leading underscore (the parser generates such names for [_]
-   and [?]) to silence the lint. *)
+   and [?]) to silence the lint.  W021 is the converse: an
+   underscore-prefixed name that the rule does join on. *)
 let singletons (ctx : Ctx.t) =
   let check_rule i (r : Rule.t) =
     let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
@@ -76,6 +77,14 @@ let singletons (ctx : Ctx.t) =
                   "variable '%s' occurs only once in the rule; prefix it with \
                    '_' if that is intended"
                   v))
+        | Some n when n > 1 && String.length v > 1 && v.[0] = '_' ->
+          Some
+            (Diagnostic.warning ~code:"W021" ~span:(span_of v)
+               (Fmt.str
+                  "variable '%s' is spelled as unused ('_' prefix) but occurs \
+                   %d times in the rule; drop the prefix if the join is \
+                   intended"
+                  v n))
         | _ -> None)
       (Rule.vars r)
   in

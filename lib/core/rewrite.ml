@@ -108,6 +108,8 @@ let methods =
     ("tabled", Top_down `Tabled);
     ("gms", Rewritten_bottom_up (GMS, default_options));
     ("gsms", Rewritten_bottom_up (GSMS, default_options));
+    ("gms-chain", Rewritten_bottom_up (GMS, { default_options with sip = Sip.chain_left_to_right }));
+    ("gsms-chain", Rewritten_bottom_up (GSMS, { default_options with sip = Sip.chain_left_to_right }));
     ("gc", Rewritten_bottom_up (GC, default_options));
     ("gsc", Rewritten_bottom_up (GSC, default_options));
     ("gc-sj", Rewritten_bottom_up (GC, { default_options with semijoin = true }));

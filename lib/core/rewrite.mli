@@ -65,4 +65,5 @@ val run :
 
 val methods : (string * method_) list
 (** Named methods for CLIs and benches: naive, seminaive, sld, tabled,
-    gms, gsms, gc, gsc, gc-sj, gsc-sj, gc-path, gc-path-sj. *)
+    gms, gsms, gms-chain, gsms-chain, gc, gsc, gc-sj, gsc-sj, gc-path,
+    gc-path-sj. *)

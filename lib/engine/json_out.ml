@@ -39,9 +39,21 @@ let gc_fields (g : Stats.gc_counters) =
     field "major_collections" (string_of_int g.Stats.major_collections);
   ]
 
-let result_row ~workload ~meth ~status ?gc stats ~time_s ~answers =
+(* estimator calibration: the optimizer's predicted facts/probes next to
+   what the run actually did, as observed/estimated ratios *)
+let cost_fields (s : Stats.t) (est_facts, est_probes) =
+  let ratio obs est = if est > 0. then float_of_int obs /. est else 0. in
+  [
+    field "est_facts" (Fmt.str "%.1f" est_facts);
+    field "est_probes" (Fmt.str "%.1f" est_probes);
+    field "est_facts_ratio" (Fmt.str "%.4f" (ratio s.Stats.facts est_facts));
+    field "est_probes_ratio" (Fmt.str "%.4f" (ratio s.Stats.probes est_probes));
+  ]
+
+let result_row ~workload ~meth ~status ?gc ?cost stats ~time_s ~answers =
   obj
     ([ field "workload" (str workload); field "method" (str meth); field "status" (str status) ]
     @ stats_fields stats ~time_s
+    @ (match cost with None -> [] | Some c -> cost_fields stats c)
     @ (match gc with None -> [] | Some g -> gc_fields g)
     @ [ field "answers" (string_of_int answers) ])

@@ -20,15 +20,22 @@ val stats_fields : Stats.t -> time_s:float -> string list
 val gc_fields : Stats.gc_counters -> string list
 (** Allocation / collection counter fields of a result row. *)
 
+val cost_fields : Stats.t -> float * float -> string list
+(** [cost_fields stats (est_facts, est_probes)]: the optimizer's
+    estimates next to observed/estimated calibration ratios, so the
+    bench can track estimator error over time. *)
+
 val result_row :
   workload:string ->
   meth:string ->
   status:string ->
   ?gc:Stats.gc_counters ->
+  ?cost:float * float ->
   Stats.t ->
   time_s:float ->
   answers:int ->
   string
 (** One evaluation result row: workload, method, status, statistics,
-    optional GC counters, wall-clock seconds, answer count — the row
-    schema of [BENCH_engine.json] and of [magic eval --json]. *)
+    optional GC counters, optional [(est_facts, est_probes)] calibration
+    fields, wall-clock seconds, answer count — the row schema of
+    [BENCH_engine.json] and of [magic eval --json]. *)

@@ -12,7 +12,7 @@
 open Datalog
 module C = Magic_core
 
-type strategy = Original | GMS | GSMS
+type strategy = Original | GMS | GSMS | Auto
 
 exception Incompatible_query of string
 
@@ -29,21 +29,28 @@ let strategy_of_string = function
   | "original" -> Some Original
   | "gms" -> Some GMS
   | "gsms" -> Some GSMS
+  | "auto" -> Some Auto
   | _ -> None
 
 let strategy_to_string = function
   | Original -> "original"
   | GMS -> "gms"
   | GSMS -> "gsms"
+  | Auto -> "auto"
 
 let rewriting = function
   | GMS -> C.Rewrite.GMS
   | GSMS -> C.Rewrite.GSMS
-  | Original -> invalid_arg "Session.rewriting"
+  | Original | Auto -> invalid_arg "Session.rewriting"
 
-let create ?(strategy = Original) ?(options = C.Rewrite.default_options) ?max_facts
+let rec create ?(strategy = Original) ?(options = C.Rewrite.default_options) ?max_facts
     program query ~edb =
   match strategy with
+  | Auto ->
+    (* cost-based pick among the strategies a session can maintain *)
+    let resolved, _choice = Analysis.choose_session_strategy ~db:edb program query in
+    let strategy = match resolved with `GMS -> GMS | `GSMS -> GSMS in
+    create ~strategy ~options ?max_facts program query ~edb
   | Original ->
     {
       strategy;
@@ -87,7 +94,7 @@ let same_program p1 p2 = List.equal Rule.equal (Program.rules p1) (Program.rules
 
 let query ?max_facts t q =
   match t.strategy with
-  | Original ->
+  | Original | Auto ->
     t.query <- q;
     (answers t, Engine.Stats.create ())
   | GMS | GSMS ->
@@ -112,3 +119,4 @@ let query ?max_facts t q =
 
 let db t = Maintain.db t.maintain
 let current_query t = t.query
+let strategy t = t.strategy

@@ -14,7 +14,7 @@
 open Datalog
 module C = Magic_core
 
-type strategy = Original | GMS | GSMS
+type strategy = Original | GMS | GSMS | Auto
 
 type t
 
@@ -35,7 +35,10 @@ val create :
   t
 (** Materialize the program (rewritten for the given query under a
     magic strategy) over a copy of [edb].  Default strategy is
-    [Original]. *)
+    [Original].  [Auto] asks {!Analysis.choose_session_strategy} to pick
+    between [GMS] and [GSMS] from the extensional statistics; the
+    session then behaves exactly as if created with the resolved
+    strategy (see {!strategy}). *)
 
 val update : ?max_facts:int -> t -> Maintain.op list -> Engine.Stats.t
 (** Apply one transaction of EDB insertions/deletions and repair all
@@ -55,3 +58,7 @@ val answers : t -> Engine.Tuple.t list
 
 val db : t -> Engine.Database.t
 val current_query : t -> Atom.t
+
+val strategy : t -> strategy
+(** The session's strategy; [Auto] is resolved at {!create} time, so
+    this is never [Auto]. *)

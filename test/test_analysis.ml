@@ -78,6 +78,35 @@ let test_warning_codes () =
         s(X) :- r(X, X).\n\
         ?- s(a).")
 
+let all_codes src =
+  List.sort_uniq String.compare
+    (List.map (fun (d : A.Diagnostic.t) -> d.A.Diagnostic.code) (A.check_text src))
+
+(* mirrors data/bad/singleton_vars.dl: the '_' prefix silences W020 on a
+   true singleton, and W021 flags a '_'-prefixed variable that joins *)
+let test_underscore_singletons () =
+  Alcotest.(check (list string))
+    "underscore singleton is silent" []
+    (all_codes "p(a, b).\ns(X) :- p(X, _Ignored).\n?- s(a).");
+  Alcotest.(check (list string))
+    "underscore join warns W021" [ "W021" ]
+    (all_codes "p(a, b).\nq(b, c).\nsh(X, Y) :- p(X, _Mid), q(_Mid, Y).\n?- sh(a, Y).");
+  Alcotest.(check (list string))
+    "singleton_vars corpus golden"
+    [ "E020"; "W020"; "W021" ]
+    (all_codes
+       "p(a, b).\n\
+        q(b, c).\n\
+        top(X, Y) :- first(X, Y).\n\
+        top(X, Y) :- silent(X, Y).\n\
+        top(X, Y) :- shared(X, Y).\n\
+        top(X, Y) :- clash(X, Y).\n\
+        first(X, X) :- p(X, Lone).\n\
+        silent(X, X) :- p(X, _Ignored).\n\
+        shared(X, Y) :- p(X, _Mid), q(_Mid, Y).\n\
+        clash(X, Y) :- p(X, Y), p(X).\n\
+        ?- top(a, Y).")
+
 (* ------------------------------------------------------------------ *)
 (* spans and rendering                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -294,6 +323,7 @@ let suite =
     Alcotest.test_case "equality binds comparisons" `Quick test_equality_binds;
     Alcotest.test_case "good programs are clean" `Quick test_good_programs_clean;
     Alcotest.test_case "warning codes" `Quick test_warning_codes;
+    Alcotest.test_case "underscore singletons" `Quick test_underscore_singletons;
     Alcotest.test_case "diagnostic span" `Quick test_diagnostic_span;
     Alcotest.test_case "caret rendering" `Quick test_rendering;
     Alcotest.test_case "Loc.of_offset" `Quick test_loc_of_offset;

@@ -1,0 +1,200 @@
+(* The cost/cardinality analysis of lib/analysis: Pass_card estimates on
+   known shapes, Pass_cost verdicts (counting exclusions, whole-cone
+   near-ties), strategy selection for sessions, and the report. *)
+
+open Datalog
+open Helpers
+module A = Analysis
+module PCa = A.Pass_card
+module PCo = A.Pass_cost
+module C = Magic_core
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let chain ?(pred = "p") n =
+  String.concat "\n"
+    (List.init n (fun i -> Fmt.str "%s(n%d, n%d)." pred i (i + 1)))
+
+let ancestor_src ?(extra = "") facts query =
+  Fmt.str "a(X, Y) :- p(X, Y).\na(X, Y) :- p(X, Z), a(Z, Y).\n%s%s\n?- %s."
+    extra facts query
+
+let choose src =
+  let p, q, edb = load src in
+  PCo.choose ~db:edb p q
+
+let verdict_of t name =
+  let e = List.find (fun (e : PCo.estimate) -> e.PCo.name = name) t.PCo.ranked in
+  e.PCo.verdict
+
+(* ------------------------------------------------------------------ *)
+(* Pass_card                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_card_measured () =
+  let p, q, edb = load (ancestor_src (chain 10) "a(n0, Y)") in
+  ignore q;
+  let t = PCa.analyze ~db:edb p in
+  Alcotest.(check bool) "measured" true (PCa.measured t);
+  let s = PCa.stat t (Symbol.make "p" 2) in
+  Alcotest.(check (float 0.01)) "edb card exact" 10. s.PCa.card;
+  (* the derived closure of a 10-chain holds 55 pairs; the estimate
+     must be a sane magnitude, not the universe square *)
+  let a = PCa.stat t (Symbol.make "a" 2) in
+  Alcotest.(check bool) "derived estimate positive" true (a.PCa.card >= 10.);
+  Alcotest.(check bool)
+    "derived estimate bounded by universe square" true
+    (a.PCa.card <= PCa.universe t *. PCa.universe t)
+
+let test_card_symbolic () =
+  let p, q, _ = load (ancestor_src "p(n0, n1)." "a(n0, Y)") in
+  ignore q;
+  let t = PCa.analyze p in
+  Alcotest.(check bool) "symbolic" false (PCa.measured t);
+  Alcotest.(check bool) "W061 emitted" true
+    (List.exists
+       (fun (d : A.Diagnostic.t) -> d.A.Diagnostic.code = "W061")
+       (PCa.diagnostics t))
+
+let test_graph_shape () =
+  let e a b = (Term.Sym a, Term.Sym b) in
+  let shape =
+    PCa.graph_shape
+      ~edges:[ e "a" "b"; e "b" "c"; e "a" "c" ]
+      ~roots:[ Term.Sym "a" ]
+  in
+  Alcotest.(check bool) "acyclic" true shape.PCa.acyclic;
+  Alcotest.(check (float 0.01)) "longest" 2. shape.PCa.longest;
+  Alcotest.(check (float 0.01)) "reachable" 3. shape.PCa.reachable;
+  let cyc =
+    PCa.graph_shape ~edges:[ e "a" "b"; e "b" "a" ] ~roots:[ Term.Sym "a" ]
+  in
+  Alcotest.(check bool) "cyclic detected" false cyc.PCa.acyclic
+
+(* ------------------------------------------------------------------ *)
+(* Pass_cost verdicts                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_deep_chain_excludes_counting () =
+  (* depth 100 from the bound seed overflows the numeric indices *)
+  let t = choose (ancestor_src (chain 100) "a(n0, Y)") in
+  List.iter
+    (fun name ->
+      match verdict_of t name with
+      | PCo.Excluded _ -> ()
+      | _ -> Alcotest.failf "%s must be excluded on a deep chain" name)
+    [ "gc"; "gc-sj"; "gsc"; "gsc-sj" ];
+  (* and the winner is a strategy that terminates *)
+  Alcotest.(check bool) "winner viable" true (t.PCo.winner.PCo.verdict = PCo.Viable)
+
+let test_cyclic_data_excludes_counting () =
+  let facts = chain 20 ^ "\np(n20, n0)." in
+  let t = choose (ancestor_src facts "a(n0, Y)") in
+  (match verdict_of t "gsc" with
+  | PCo.Excluded why ->
+    Alcotest.(check bool) "mentions cyclic" true
+      (contains ~affix:"cyclic" why)
+  | _ -> Alcotest.fail "gsc must be excluded on cyclic data")
+
+let test_shallow_chain_counting_viable () =
+  let t = choose (ancestor_src (chain 40) "a(n0, Y)") in
+  Alcotest.(check bool) "gsc viable" true (verdict_of t "gsc" = PCo.Viable);
+  Alcotest.(check bool) "gc viable" true (verdict_of t "gc" = PCo.Viable)
+
+let test_mid_chain_prefers_rewrite () =
+  (* the bound cone is half the chain: a rewriting must win over
+     direct evaluation *)
+  let t = choose (ancestor_src (chain 200) "a(n100, Y)") in
+  Alcotest.(check bool)
+    (Fmt.str "winner %s is a rewrite" t.PCo.winner.PCo.name)
+    true
+    (t.PCo.winner.PCo.name <> "seminaive")
+
+let test_whole_cone_prefers_seminaive () =
+  (* querying the chain's root makes the cone the whole database:
+     the rewriting machinery is pure overhead and W062 explains it *)
+  let t = choose (ancestor_src (chain 30) "a(n0, Y)") in
+  Alcotest.(check string) "winner" "seminaive" t.PCo.winner.PCo.name;
+  Alcotest.(check bool) "W062 emitted" true
+    (List.exists
+       (fun (d : A.Diagnostic.t) -> d.A.Diagnostic.code = "W062")
+       t.PCo.diagnostics)
+
+let test_extensional_query_trivial () =
+  let t = choose "p(a, b).\np(a, c).\n?- p(a, X)." in
+  Alcotest.(check string) "winner" "seminaive" t.PCo.winner.PCo.name;
+  Alcotest.(check int) "single candidate" 1 (List.length t.PCo.ranked)
+
+let test_counting_floored_at_counterpart () =
+  let t = choose (ancestor_src (chain 40) "a(n0, Y)") in
+  let est name =
+    List.find (fun (e : PCo.estimate) -> e.PCo.name = name) t.PCo.ranked
+  in
+  Alcotest.(check bool) "gsc facts >= gsms facts" true
+    ((est "gsc").PCo.est_facts >= (est "gsms").PCo.est_facts);
+  Alcotest.(check bool) "gc facts >= gms facts" true
+    ((est "gc").PCo.est_facts >= (est "gms").PCo.est_facts)
+
+let test_report_renders () =
+  let t = choose (ancestor_src (chain 20) "a(n10, Y)") in
+  let s = Fmt.str "%a" PCo.pp_report t in
+  Alcotest.(check bool) "mentions winner" true
+    (contains ~affix:t.PCo.winner.PCo.name s);
+  Alcotest.(check bool) "mentions selected" true
+    (contains ~affix:"selected" s)
+
+(* ------------------------------------------------------------------ *)
+(* session strategy selection                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_choice () =
+  let p, q, edb = load (ancestor_src (chain 60) "a(n30, Y)") in
+  let resolved, choice = A.choose_session_strategy ~db:edb p q in
+  (* sessions only maintain gms/gsms; the ranked set reflects that *)
+  List.iter
+    (fun (e : PCo.estimate) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s maintainable" e.PCo.name)
+        true
+        (List.mem e.PCo.name [ "gms"; "gsms" ]))
+    choice.PCo.ranked;
+  match resolved with `GMS | `GSMS -> ()
+
+let test_session_auto_create () =
+  let p, q, edb = load (ancestor_src (chain 60) "a(n30, Y)") in
+  let s = Incr.Session.create ~strategy:Incr.Session.Auto p q ~edb in
+  (match Incr.Session.strategy s with
+  | Incr.Session.GMS | Incr.Session.GSMS -> ()
+  | _ -> Alcotest.fail "auto must resolve to gms or gsms");
+  (* the resolved session answers like a from-scratch gms run *)
+  let scratch = run_method "gms" p q edb in
+  Alcotest.check tuple_list "session answers"
+    (List.sort Engine.Tuple.compare (Incr.Session.answers s))
+    (sorted_answers scratch)
+
+let suite =
+  [
+    Alcotest.test_case "card: measured chain" `Quick test_card_measured;
+    Alcotest.test_case "card: symbolic fallback" `Quick test_card_symbolic;
+    Alcotest.test_case "card: graph shape" `Quick test_graph_shape;
+    Alcotest.test_case "cost: deep chain excludes counting" `Quick
+      test_deep_chain_excludes_counting;
+    Alcotest.test_case "cost: cyclic data excludes counting" `Quick
+      test_cyclic_data_excludes_counting;
+    Alcotest.test_case "cost: shallow chain counting viable" `Quick
+      test_shallow_chain_counting_viable;
+    Alcotest.test_case "cost: mid chain prefers rewrite" `Quick
+      test_mid_chain_prefers_rewrite;
+    Alcotest.test_case "cost: whole cone prefers seminaive" `Quick
+      test_whole_cone_prefers_seminaive;
+    Alcotest.test_case "cost: extensional query trivial" `Quick
+      test_extensional_query_trivial;
+    Alcotest.test_case "cost: counting floored at counterpart" `Quick
+      test_counting_floored_at_counterpart;
+    Alcotest.test_case "cost: report renders" `Quick test_report_renders;
+    Alcotest.test_case "session: restricted candidates" `Quick test_session_choice;
+    Alcotest.test_case "session: auto create" `Quick test_session_auto_create;
+  ]

@@ -31,5 +31,6 @@ let () =
       ("viz", Test_viz.suite);
       ("random-programs", Test_random_programs.suite);
       ("analysis", Test_analysis.suite);
+      ("cost", Test_cost.suite);
       ("incr", Test_incr.suite);
     ]

@@ -47,6 +47,33 @@ let prop_counting_agrees_when_terminating =
           | C.Rewrite.Unsafe _ -> false)
         [ "gc"; "gsc"; "gc-sj"; "gsc-sj" ])
 
+(* the cost-based selector must never pick a strategy that changes the
+   answers: whatever it chooses, running it agrees with the reference,
+   and it agrees with every hand-picked strategy that terminates *)
+let prop_auto_extensionally_equal =
+  qtest ~count:30 "random programs: auto = gms/gsms/gc/gsc answers" gen_case
+    (fun (src, facts) ->
+      let p = program src in
+      let edb = Engine.Database.of_facts facts in
+      let reference =
+        sorted_answers (run_method ~max_facts:200_000 "seminaive" p query edb)
+      in
+      let choice = Analysis.choose_strategy ~db:edb p query in
+      let auto =
+        run_method ~max_facts:200_000
+          choice.Analysis.Pass_cost.winner.Analysis.Pass_cost.name p query edb
+      in
+      auto.C.Rewrite.status = C.Rewrite.Ok
+      && sorted_answers auto = reference
+      && List.for_all
+           (fun m ->
+             let r = run_method ~max_facts:2_000 m p query edb in
+             match r.C.Rewrite.status with
+             | C.Rewrite.Ok -> sorted_answers r = reference
+             | C.Rewrite.Diverged -> true
+             | C.Rewrite.Unsafe _ -> false)
+           [ "gms"; "gsms"; "gc"; "gsc" ])
+
 let prop_sip_variants =
   qtest ~count:40 "random programs: chain and head-only sips agree" gen_case
     (fun (src, facts) ->
@@ -97,6 +124,7 @@ let suite =
   [
     prop_magic_family;
     prop_counting_agrees_when_terminating;
+    prop_auto_extensionally_equal;
     prop_sip_variants;
     prop_rewrites_lint_clean;
     prop_theorem_9_1_random_programs;
