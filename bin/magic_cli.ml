@@ -39,6 +39,18 @@ let load path =
     | None -> Fmt.failwith "%s: no ?- query found" path
     | Some q -> (program, q, Engine.Database.of_facts facts))
 
+(* parse an update script with located diagnostics: malformed or
+   truncated lines point into the script source instead of aborting
+   with a bare exception *)
+let load_script path =
+  let src = read_source path in
+  match Incr.Script.parse_spanned src with
+  | Ok items -> items
+  | Stdlib.Error { Incr.Script.message; span } ->
+    render_diagnostics ~src ~file:path
+      [ Analysis.Diagnostic.error ~code:"E110" ~span ("script error: " ^ message) ];
+    exit 1
+
 let sip_conv =
   let parse s =
     match C.Sip.strategy_of_string s with
@@ -472,16 +484,22 @@ let compare_cmd =
     (T.app (T.app (T.app (T.app (T.const run) file_arg) max_facts_arg) strategy_arg)
        json_arg)
 
+let session_strategy_conv =
+  let parse s =
+    match Incr.Session.strategy_of_string s with
+    | Some st -> Stdlib.Ok (s, st)
+    | None ->
+      Stdlib.Error
+        (`Msg
+           (Fmt.str
+              "unknown session strategy %S (expected original, gms, gsms or auto)" s))
+  in
+  Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
+
 let session_cmd =
   let run file script_path (strategy_name, strategy) max_facts json =
     let program, query, edb = load file in
-    let items =
-      match Incr.Script.parse (read_source script_path) with
-      | items -> items
-      | exception Incr.Script.Error m ->
-        Fmt.epr "%s: %s@." script_path m;
-        exit 1
-    in
+    let items = load_script script_path in
     (* the EDB as updated so far, kept alongside the session so that an
        incompatible query (different binding pattern) can start a fresh
        session from the current state *)
@@ -557,21 +575,9 @@ let session_cmd =
           ~doc:"Update script: lines of '+fact.', '-fact.' and '? query.'.")
   in
   let strategy_arg =
-    let strategy_conv =
-      let parse s =
-        match Incr.Session.strategy_of_string s with
-        | Some st -> Stdlib.Ok (s, st)
-        | None ->
-          Stdlib.Error
-            (`Msg
-               (Fmt.str
-                  "unknown session strategy %S (expected original, gms, gsms or auto)" s))
-      in
-      Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
-    in
     Arg.(
       value
-      & opt strategy_conv ("gms", Incr.Session.GMS)
+      & opt session_strategy_conv ("gms", Incr.Session.GMS)
       & info [ "strategy"; "s" ] ~docv:"S"
           ~doc:"Session strategy: original, gms, gsms — or auto to pick \
                 between gms and gsms from the EDB statistics (counting \
@@ -588,6 +594,173 @@ let session_cmd =
           max_facts_arg)
        json_arg)
 
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on (or connect to) a Unix-domain socket.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N"
+        ~doc:"Listen on (or connect to) TCP port N on 127.0.0.1; 0 picks an \
+              ephemeral port when serving.")
+
+let serve_cmd =
+  let run file (_, strategy) max_facts socket port jobs =
+    let listen =
+      match (socket, port) with
+      | Some path, None -> Server.Daemon.Unix_path path
+      | None, Some p -> Server.Daemon.Tcp p
+      | Some _, Some _ ->
+        Fmt.epr "magic serve: --socket and --port are mutually exclusive@.";
+        exit 2
+      | None, None ->
+        Fmt.epr "magic serve: one of --socket PATH or --port N is required@.";
+        exit 2
+    in
+    let program, query, edb = load file in
+    let registry =
+      Server.Registry.create ~strategy ~max_facts program query ~edb
+    in
+    Fmt.pr "%% serve strategy=%s jobs=%d@."
+      (Incr.Session.strategy_to_string (Server.Registry.session_strategy registry))
+      jobs;
+    Server.Daemon.run ~jobs
+      ~on_ready:(fun addr ->
+        match addr with
+        | Unix.ADDR_UNIX p -> Fmt.pr "%% listening on %s@." p
+        | Unix.ADDR_INET (_, p) -> Fmt.pr "%% listening on 127.0.0.1:%d@." p)
+      listen registry
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt session_strategy_conv ("auto", Incr.Session.Auto)
+      & info [ "strategy"; "s" ] ~docv:"S"
+          ~doc:"Session strategy for the warm materialization: original, gms, \
+                gsms or auto (the default: cost-selected from the EDB \
+                statistics).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Reader pool width: how many client connections are served \
+                concurrently (0 = serve one connection at a time).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Warm a magic session for the file's query and serve the \
+             line-oriented JSON protocol over a socket: concurrent reads \
+             against epoch-stamped snapshots, serialized transactions, an \
+             adornment-keyed answer cache (see DESIGN.md).")
+    (T.app
+       (T.app
+          (T.app
+             (T.app (T.app (T.app (T.const run) file_arg) strategy_arg)
+                max_facts_arg)
+             socket_arg)
+          port_arg)
+       jobs_arg)
+
+let client_cmd =
+  let run socket port script_path stats shutdown =
+    let client =
+      match (socket, port) with
+      | Some path, None -> Server.Client.unix path
+      | None, Some p -> Server.Client.tcp p
+      | _ ->
+        Fmt.epr "magic client: exactly one of --socket PATH or --port N is required@.";
+        exit 2
+    in
+    let items =
+      match script_path with
+      | Some path -> load_script path
+      | None -> (
+        let src = In_channel.input_all stdin in
+        match Incr.Script.parse_spanned src with
+        | Stdlib.Ok items -> items
+        | Stdlib.Error { Incr.Script.message; span } ->
+          render_diagnostics ~src ~file:"<stdin>"
+            [
+              Analysis.Diagnostic.error ~code:"E110" ~span
+                ("script error: " ^ message);
+            ];
+          exit 1)
+    in
+    let failed = ref false in
+    let handle = function
+      | Server.Protocol.Error { code; message } ->
+        failed := true;
+        Fmt.epr "%% error %s: %s@." (Server.Protocol.code_string code) message
+      | Server.Protocol.Answers { epoch; cache_hit; answers; time_s } ->
+        List.iter
+          (fun row -> Fmt.pr "(%s)@." (String.concat ", " row))
+          answers;
+        Fmt.pr "%% %d answers epoch=%d cache=%s %.3fms@." (List.length answers)
+          epoch
+          (if cache_hit then "hit" else "miss")
+          (time_s *. 1e3)
+      | Server.Protocol.Committed { epoch; ops; time_s } ->
+        Fmt.pr "%% committed %d ops epoch=%d %.3fms@." ops epoch (time_s *. 1e3)
+      | Server.Protocol.Stats_reply fields ->
+        List.iter (fun (k, v) -> Fmt.pr "%% %s = %s@." k v) fields
+      | Server.Protocol.Shutdown_ack -> Fmt.pr "%% server shut down@."
+    in
+    let pending = ref [] in
+    let flush () =
+      match List.rev !pending with
+      | [] -> ()
+      | ops ->
+        pending := [];
+        handle (Server.Client.request client (Server.Protocol.Txn ops))
+    in
+    List.iter
+      (function
+        | Incr.Script.Assert a -> pending := Incr.Maintain.Insert a :: !pending
+        | Incr.Script.Retract a -> pending := Incr.Maintain.Delete a :: !pending
+        | Incr.Script.Query q ->
+          flush ();
+          handle (Server.Client.request client (Server.Protocol.Query q)))
+      items;
+    flush ();
+    if stats then handle (Server.Client.request client Server.Protocol.Stats);
+    if shutdown then
+      handle (Server.Client.request client Server.Protocol.Shutdown);
+    Server.Client.close client;
+    if !failed then exit 1
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"UPDATES"
+          ~doc:"Update script of '+fact.', '-fact.' and '? query.' lines; \
+                read from stdin when omitted.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Request daemon statistics after the script.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to shut down at the end.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Run an update script against a magic serve daemon: consecutive \
+             +/- lines form one transaction, queries are served from the \
+             daemon's snapshots.  Exits nonzero if any request was answered \
+             with a protocol error.")
+    (T.app
+       (T.app (T.app (T.app (T.app (T.const run) socket_arg) port_arg) script_arg)
+          stats_arg)
+       shutdown_arg)
+
 let () =
   let doc = "magic-sets rewriting of recursive Datalog queries (Beeri & Ramakrishnan)" in
   let info = Cmd.info "magic" ~version:"1.0.0" ~doc in
@@ -603,4 +776,6 @@ let () =
             explain_cmd;
             compare_cmd;
             session_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -272,20 +272,39 @@ let analyze ?db ?defaults ?universe:universe_override
                (Float.max (float_of_int max_rounds)
                   ((rounds_bound *. float_of_int (List.length members)) +. 4.)))
         in
-        let stable prev =
-          List.for_all2
-            (fun s p ->
-              Float.abs ((lookup s).card -. p) <= 0.01 *. clamp1 p)
-            members prev
+        (* A member is settled when its round delta is gone, or small
+           relative to its size AND shrinking geometrically (at most
+           half the previous round's delta).  The trend condition is
+           what distinguishes a converging fixpoint from steady linear
+           growth: a chain's cardinality grows by a constant amount per
+           round, so once it reaches ~100x the per-round step a purely
+           relative test mistakes it for stable and freezes the
+           estimate orders of magnitude short of the horizon — such
+           SCCs must instead run to the budget and take the
+           extrapolating widening below. *)
+        let settled ~prev_card ~prev_delta ~delta =
+          delta <= 1e-9
+          || (delta <= 0.01 *. clamp1 prev_card && delta <= 0.5 *. prev_delta)
         in
         let step () =
           let next = List.map (fun s -> (s, recompute s)) members in
           List.iter (fun (s, st) -> Hashtbl.replace stats s st) next
         in
-        let rec go k =
+        let rec go k prev_deltas =
           let prev = List.map (fun s -> (lookup s).card) members in
           step ();
-          if stable prev then rounds := Float.max !rounds (float_of_int k)
+          let deltas =
+            List.map2
+              (fun s p -> Float.abs ((lookup s).card -. p))
+              members prev
+          in
+          let stable =
+            List.for_all2
+              (fun (prev_card, delta) prev_delta ->
+                settled ~prev_card ~prev_delta ~delta)
+              (List.combine prev deltas) prev_deltas
+          in
+          if stable then rounds := Float.max !rounds (float_of_int k)
           else if k >= budget then begin
             (* extrapolating widening: project the last round's growth
                linearly out to the round horizon, under the column caps *)
@@ -308,9 +327,9 @@ let analyze ?db ?defaults ?universe:universe_override
             widened := members @ !widened;
             rounds := Float.max !rounds rounds_bound
           end
-          else go (k + 1)
+          else go (k + 1) deltas
         in
-        go 1
+        go 1 (List.map (fun _ -> Float.infinity) members)
       end
     end
   in

@@ -312,11 +312,7 @@ let score_candidate ~db ~measured ~universe ~rounds_bound program query
           "the binding graph has a non-positive cycle: the rewriting may not \
            terminate (Section 10)"
       else
-        let shape =
-          if is_counting method_ then
-            Option.map (fun db -> descent_shape rw db) db
-          else None
-        in
+        let shape = Option.map (fun db -> descent_shape rw db) db in
         match
           if is_counting method_ then counting_exclusion report rw shape
           else None
@@ -332,7 +328,7 @@ let score_candidate ~db ~measured ~universe ~rounds_bound program query
             (fun (s : Atom.t) ->
               if Atom.is_ground s then ignore (Engine.Database.add_fact db' s))
             rw.C.Rewritten.seeds;
-          let col_caps =
+          let index_caps =
             match shape with
             | Some (s, _) when s.Pass_card.acyclic && not s.Pass_card.saturated
               ->
@@ -341,6 +337,51 @@ let score_candidate ~db ~measured ~universe ~rounds_bound program query
             | _ when is_counting method_ ->
               counting_caps rw ~universe ~idx_cap:universe
             | _ -> fun _ -> None
+          in
+          (* Cone cap: every value a magic predicate can hold is reached
+             from the seed constants by descent steps through the
+             extensional data, so the measured reachable set bounds the
+             magic columns far tighter than the constant universe.
+             Without it, a seed in the middle of a long chain widens to
+             the whole universe and the rewriting looks no better than
+             direct evaluation.  The descent graph only tracks binary
+             extensional steps, so the cap is sound only when every
+             extensional literal of a guard rule is binary or ground. *)
+          let cone_caps =
+            let derived = Program.derived rw.C.Rewritten.program in
+            let binary_descent =
+              List.for_all
+                (fun (r : Rule.t) ->
+                  (not (is_guard rw.C.Rewritten.naming r.Rule.head.Atom.pred))
+                  || List.for_all
+                       (fun (a : Atom.t) ->
+                         Atom.is_builtin a
+                         || Symbol.Set.mem (Atom.symbol a) derived
+                         || Atom.is_ground a
+                         || List.length a.Atom.args = 2)
+                       (Rule.body_atoms r))
+                (Program.rules rw.C.Rewritten.program)
+            in
+            match shape with
+            | Some (s, false) when binary_descent && s.Pass_card.reachable >= 1.
+              ->
+              let cone = Float.min universe s.Pass_card.reachable in
+              fun (sym : Symbol.t) ->
+                if is_magic rw.C.Rewritten.naming sym.Symbol.name then
+                  Some (Array.make (max sym.Symbol.arity 0) cone)
+                else None
+            | _ -> fun _ -> None
+          in
+          let col_caps sym =
+            match (index_caps sym, cone_caps sym) with
+            | None, None -> None
+            | (Some _ as c), None | None, (Some _ as c) -> c
+            | Some a, Some b ->
+              Some
+                (Array.mapi
+                   (fun i c ->
+                     if i < Array.length b then Float.min c b.(i) else c)
+                   a)
           in
           let card =
             Pass_card.analyze ~db:db' ~defaults:(not measured) ~universe

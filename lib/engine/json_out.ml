@@ -6,6 +6,7 @@ let str s = Fmt.str "%S" s
 let field k v = Fmt.str "%S: %s" k v
 let obj fields = "{" ^ String.concat ", " fields ^ "}"
 let arr rows = "[\n    " ^ String.concat ",\n    " rows ^ "\n  ]"
+let arr_inline rows = "[" ^ String.concat ", " rows ^ "]"
 
 let stats_fields (s : Stats.t) ~time_s =
   [

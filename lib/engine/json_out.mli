@@ -9,7 +9,14 @@ val field : string -> string -> string
 (** [field k v] is [ "k": v ] with [v] inserted verbatim (already JSON). *)
 
 val obj : string list -> string
+
 val arr : string list -> string
+(** Multi-line array, one element per line — the layout of the
+    committed BENCH_*.json files. *)
+
+val arr_inline : string list -> string
+(** Single-line array, for line-oriented consumers (the serve
+    protocol). *)
 
 val stats_fields : Stats.t -> time_s:float -> string list
 (** The common statistics fields of a result row, including the

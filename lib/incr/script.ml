@@ -1,46 +1,78 @@
 open Datalog
 
 type item = Assert of Atom.t | Retract of Atom.t | Query of Atom.t
+type error = { message : string; span : Loc.t }
 
 exception Error of string
 
-let parse_line lineno line =
-  let line =
+(* [lineno] is 1-based; [offset] is the 0-based character offset of the
+   line's first character in the whole source *)
+let parse_line_spanned ~lineno ~offset line =
+  let content =
     match String.index_opt line '%' with
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  let line = String.trim line in
-  if line = "" then None
+  (* trimmed extent [i0, i1) of the content within the line *)
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let i1 = ref (String.length content) in
+  while !i1 > 0 && is_ws content.[!i1 - 1] do
+    decr i1
+  done;
+  let i0 = ref 0 in
+  while !i0 < !i1 && is_ws content.[!i0] do
+    incr i0
+  done;
+  if !i0 >= !i1 then Ok None
   else begin
-    let err fmt = Fmt.kstr (fun m -> raise (Error (Fmt.str "line %d: %s" lineno m))) fmt in
-    let n = String.length line in
-    if n < 2 then err "expected '+fact.', '-fact.' or '? query.'";
-    if line.[n - 1] <> '.' then err "missing final '.'";
-    let body = String.trim (String.sub line 1 (n - 2)) in
-    let atom () =
-      match Parser.parse_atom body with
-      | a -> a
-      | exception Parser.Error m -> err "%s" m
+    let span_of i j =
+      Loc.span
+        { Loc.line = lineno; col = i + 1; offset = offset + i }
+        { Loc.line = lineno; col = j + 1; offset = offset + j }
     in
-    let ground_atom () =
-      let a = atom () in
-      if not (Atom.is_ground a) then err "update %a is not ground" Atom.pp a;
-      a
+    let line_span = span_of !i0 !i1 in
+    let err span fmt =
+      Fmt.kstr (fun message -> Stdlib.Error { message; span }) fmt
     in
-    match line.[0] with
-    | '+' -> Some (Assert (ground_atom ()))
-    | '-' -> Some (Retract (ground_atom ()))
-    | '?' -> Some (Query (atom ()))
-    | c -> err "expected '+', '-' or '?', got %c" c
+    let n = !i1 - !i0 in
+    let marker = content.[!i0] in
+    if marker <> '+' && marker <> '-' && marker <> '?' then
+      err line_span "expected '+', '-' or '?', got %c" marker
+    else if n < 2 || content.[!i1 - 1] <> '.' then
+      err line_span "truncated item: expected '%cfact.' with a final '.'" marker
+    else begin
+      let body = String.trim (String.sub content (!i0 + 1) (n - 2)) in
+      let body_span = span_of (!i0 + 1) (!i1 - 1) in
+      if body = "" then err line_span "empty item after '%c'" marker
+      else begin
+        match Parser.parse_atom body with
+        | exception Parser.Error m -> err body_span "%s" m
+        | a -> (
+          match marker with
+          | '?' -> Ok (Some (Query a))
+          | '+' | '-' ->
+            if not (Atom.is_ground a) then
+              err body_span "update %a is not ground" Atom.pp a
+            else Ok (Some (if marker = '+' then Assert a else Retract a))
+          | _ -> assert false)
+      end
+    end
   end
 
+let parse_spanned src =
+  let rec go acc lineno offset = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line_spanned ~lineno ~offset line with
+      | Ok None -> go acc (lineno + 1) (offset + String.length line + 1) rest
+      | Ok (Some item) ->
+        go (item :: acc) (lineno + 1) (offset + String.length line + 1) rest
+      | Stdlib.Error _ as e -> e)
+  in
+  go [] 1 0 (String.split_on_char '\n' src)
+
 let parse src =
-  let items = ref [] in
-  List.iteri
-    (fun i line ->
-      match parse_line (i + 1) line with
-      | Some item -> items := item :: !items
-      | None -> ())
-    (String.split_on_char '\n' src);
-  List.rev !items
+  match parse_spanned src with
+  | Ok items -> items
+  | Stdlib.Error { message; span } ->
+    raise (Error (Fmt.str "line %d: %s" span.Loc.start.Loc.line message))

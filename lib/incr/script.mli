@@ -15,7 +15,19 @@ open Datalog
 
 type item = Assert of Atom.t | Retract of Atom.t | Query of Atom.t
 
+type error = { message : string; span : Loc.t }
+(** A located script error: the span points at the offending line (or
+    the offending part of it) in the original source text, so the CLI
+    can render a caret-style diagnostic instead of a bare line number. *)
+
+val parse_spanned : string -> (item list, error) result
+(** Parse a whole script.  Truncated input (a final line missing its
+    ['.'], an item marker with nothing after it) and malformed items
+    are reported as located errors, never as exceptions. *)
+
 exception Error of string
-(** Parse error, with the 1-based line number. *)
+(** Parse error with the 1-based line number, raised by {!parse}. *)
 
 val parse : string -> item list
+(** {!parse_spanned} for callers that prefer the exception;
+    @raise Error with a ["line %d: ..."] message. *)

@@ -120,3 +120,6 @@ let query ?max_facts t q =
 let db t = Maintain.db t.maintain
 let current_query t = t.query
 let strategy t = t.strategy
+let rewritten t = t.rw
+let options t = t.options
+let program t = t.program

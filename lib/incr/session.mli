@@ -62,3 +62,13 @@ val current_query : t -> Atom.t
 val strategy : t -> strategy
 (** The session's strategy; [Auto] is resolved at {!create} time, so
     this is never [Auto]. *)
+
+val rewritten : t -> C.Rewritten.t option
+(** The rewritten program the session maintains; [None] under
+    [Original].  The serving layer uses it to decide, without touching
+    the session, whether a candidate query adorns to the same program
+    and whether its seeds are already installed. *)
+
+val options : t -> C.Rewrite.options
+val program : t -> Program.t
+(** The original, un-rewritten program the session was created over. *)

@@ -1,0 +1,30 @@
+(** The daemon: accept loop, reader-domain pool, line-per-request
+    dispatch into {!Registry}.
+
+    One listening socket (Unix-domain or TCP on localhost); each
+    accepted connection is handed to a pool of [jobs] worker domains,
+    so [jobs] clients are served truly concurrently — read queries
+    proceed in parallel against the published snapshot, transactions
+    serialize through the registry's write lock.  A [shutdown] request
+    stops the accept loop, drains the workers and returns from
+    {!run}. *)
+
+type listen = Unix_path of string | Tcp of int
+(** Where to listen: a Unix-domain socket path (unlinked first if it
+    exists, removed again on exit), or a TCP port on 127.0.0.1 ([Tcp 0]
+    binds an ephemeral port — read the actual one from [on_ready]). *)
+
+val run :
+  ?jobs:int ->
+  ?on_ready:(Unix.sockaddr -> unit) ->
+  listen ->
+  Registry.t ->
+  unit
+(** Serve until a [shutdown] request arrives.  [jobs] is the worker
+    pool width (default 2); [jobs <= 0] serves connections one at a
+    time on the calling domain.  [on_ready] fires once the socket is
+    bound and listening, with the actual bound address.
+
+    Per-connection failures (malformed lines, broken pipes, handler
+    exceptions) are answered with protocol errors or swallowed; they
+    never take the daemon down. *)

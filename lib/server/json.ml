@@ -1,0 +1,215 @@
+(* Recursive-descent JSON reader; one value per protocol line.  Errors
+   report the byte offset into the line (the protocol layer turns that
+   into a "column N" diagnostic on the error reply). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+type error = { message : string; offset : int }
+
+exception Fail of error
+
+let fail offset fmt = Fmt.kstr (fun message -> raise (Fail { message; offset })) fmt
+
+let parse src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | Some c' -> fail !pos "expected %C, got %C" c c'
+    | None -> fail !pos "expected %C, got end of input" c
+  in
+  let literal word value =
+    let m = String.length word in
+    if !pos + m <= n && String.sub src !pos m = word then begin
+      pos := !pos + m;
+      value
+    end
+    else fail !pos "invalid literal"
+  in
+  let string_body () =
+    let start = !pos in
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail start "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then fail !pos "unterminated escape"
+          else begin
+            (match src.[!pos + 1] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+              if !pos + 5 >= n then fail !pos "truncated \\u escape"
+              else begin
+                let hex = String.sub src (!pos + 2) 4 in
+                match int_of_string_opt ("0x" ^ hex) with
+                | None -> fail !pos "invalid \\u escape"
+                | Some code ->
+                  (* BMP code points, encoded as UTF-8; enough for the
+                     protocol's identifier-ish payloads *)
+                  if code < 0x80 then Buffer.add_char b (Char.chr code)
+                  else if code < 0x800 then begin
+                    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                  end
+                  else begin
+                    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                  end;
+                  pos := !pos + 4
+              end
+            | c -> fail !pos "invalid escape \\%c" c);
+            pos := !pos + 2;
+            go ()
+          end
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    (* the first branch of [go] consumed nothing yet: restart after the
+       opening quote *)
+    (match peek () with
+    | Some '"' -> incr pos
+    | _ -> go ());
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char src.[!pos] do
+      incr pos
+    done;
+    let s = String.sub src start (!pos - start) in
+    match float_of_string_opt s with
+    | Some f -> Num f
+    | None -> fail start "invalid number %S" s
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws ();
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            fields_loop ()
+          | Some '}' -> incr pos
+          | Some c -> fail !pos "expected ',' or '}', got %C" c
+          | None -> fail !pos "unterminated object"
+        in
+        fields_loop ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let v = value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            items_loop ()
+          | Some ']' -> incr pos
+          | Some c -> fail !pos "expected ',' or ']', got %C" c
+          | None -> fail !pos "unterminated array"
+        in
+        items_loop ();
+        Arr (List.rev !items)
+      end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail !pos "unexpected character %C" c
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos < n then fail !pos "trailing input after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Fail e -> Error e
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_list = function Arr xs -> Some xs | _ -> None
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Fmt.pf ppf "%d" (int_of_float f)
+    else Fmt.pf ppf "%g" f
+  | Str s -> Fmt.string ppf (Engine.Json_out.str s)
+  | Arr xs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.comma pp) xs
+  | Obj fs ->
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) ->
+           Fmt.pf ppf "%s: %a" (Engine.Json_out.str k) pp v))
+      fs

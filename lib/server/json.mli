@@ -1,0 +1,30 @@
+(** Minimal JSON reader for the wire protocol.
+
+    The emission side reuses {!Engine.Json_out}; this is the matching
+    parser — objects, arrays, strings (with the common escapes),
+    numbers, booleans and null, one value per protocol line.  Errors
+    carry the byte offset of the offending character so the protocol
+    layer can point into the received line. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+type error = { message : string; offset : int }
+
+val parse : string -> (t, error) result
+(** Parse one complete JSON value; trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_string : t -> string option
+val to_int : t -> int option
+val to_list : t -> t list option
+
+val pp : t Fmt.t
+(** Re-emission (for tests and error messages), compact. *)

@@ -1,0 +1,409 @@
+open Datalog
+module C = Magic_core
+
+type counters = {
+  mutable queries : int;
+  mutable txns : int;
+  mutable txn_ops : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable invalidations : int;
+  mutable seed_installs : int;
+  mutable rebuilds : int;
+  mutable errors : int;
+  mutable maint_facts : int;
+  mutable maint_firings : int;
+}
+
+type t = {
+  lock : Rwlock.t;
+  mutable session : Incr.Session.t;  (* replaced only under the write lock *)
+  shadow : Engine.Database.t;
+      (* committed writes only (EDB ops and installed seeds); the
+         rebuild source after a blown budget.  Mutated under the write
+         lock, and only after the maintenance transaction succeeded. *)
+  mutable snapshot : Engine.Snapshot.t;  (* published under the write lock *)
+  mutable epoch : int;
+  program : Program.t;
+  derived : Symbol.Set.t;  (* of [program]: client txns may not touch these *)
+  query0 : Atom.t;
+  strategy : Incr.Session.strategy;  (* resolved: never [Auto] *)
+  options : C.Rewrite.options;
+  max_facts : int option;
+  monotone : bool;
+      (* no negative literal in the maintained program: cone growth can
+         only add facts, so seed installs keep the answer cache *)
+  cache_m : Mutex.t;
+  cache : (string, int * string list list) Hashtbl.t;
+  mutable cache_valid_from : int;  (* under [cache_m] *)
+  c : counters;  (* under [cache_m] *)
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let with_c t f = locked t.cache_m (fun () -> f t.c)
+let now () = Unix.gettimeofday ()
+
+let absorb_maint t (stats : Engine.Stats.t) =
+  with_c t (fun c ->
+      c.maint_facts <- c.maint_facts + stats.Engine.Stats.facts;
+      c.maint_firings <-
+        c.maint_firings + stats.Engine.Stats.firings
+        + stats.Engine.Stats.delta_firings)
+
+let has_negation program =
+  List.exists
+    (fun r ->
+      List.exists
+        (function Rule.Neg _ -> true | Rule.Pos _ -> false)
+        r.Rule.body)
+    (Program.rules program)
+
+let maintained_program session =
+  match Incr.Session.rewritten session with
+  | Some rw -> rw.C.Rewritten.program
+  | None -> Incr.Session.program session
+
+let create ?(strategy = Incr.Session.Auto) ?options ?max_facts program query
+    ~edb =
+  let shadow = Engine.Database.copy edb in
+  let session =
+    Incr.Session.create ~strategy ?options ?max_facts program query ~edb
+  in
+  (* the initial query's seeds are committed state: a rebuild of the
+     shadow must reproduce them (Session.create re-adds its own seeds,
+     so the duplication is harmless) *)
+  (match Incr.Session.rewritten session with
+  | Some rw ->
+    List.iter
+      (fun s -> ignore (Engine.Database.add_fact shadow s))
+      rw.C.Rewritten.seeds
+  | None -> ());
+  let epoch = 0 in
+  {
+    lock = Rwlock.create ();
+    session;
+    shadow;
+    snapshot = Engine.Snapshot.capture ~epoch (Incr.Session.db session);
+    epoch;
+    program;
+    derived = Program.derived program;
+    query0 = query;
+    strategy = Incr.Session.strategy session;
+    options = Incr.Session.options session;
+    max_facts;
+    monotone = not (has_negation (maintained_program session));
+    cache_m = Mutex.create ();
+    cache = Hashtbl.create 64;
+    cache_valid_from = 0;
+    c =
+      {
+        queries = 0;
+        txns = 0;
+        txn_ops = 0;
+        cache_hits = 0;
+        cache_misses = 0;
+        invalidations = 0;
+        seed_installs = 0;
+        rebuilds = 0;
+        errors = 0;
+        maint_facts = 0;
+        maint_firings = 0;
+      };
+  }
+
+let epoch t = Rwlock.with_read t.lock (fun () -> t.epoch)
+let session_strategy t = t.strategy
+
+(* ---- cache keying: the atom normalized up to variable renaming, so
+   [path(a, Y)] and [path(a, Z)] share an entry while [p(X, X)] and
+   [p(X, Y)] do not (first-occurrence numbering preserves repetition
+   structure) ---- *)
+
+let cache_key (a : Atom.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i v -> Hashtbl.replace tbl v (Printf.sprintf "v%d" i))
+    (Atom.vars a);
+  Atom.to_string (Atom.rename (fun v -> Hashtbl.find tbl v) a)
+
+let cache_find t key =
+  locked t.cache_m (fun () ->
+      match Hashtbl.find_opt t.cache key with
+      | Some (ep, _) when ep < t.cache_valid_from -> None
+      | entry -> entry)
+
+let cache_store t key ep rows =
+  locked t.cache_m (fun () ->
+      (* a transaction may have invalidated while we computed against
+         the older snapshot: never re-insert a stale entry *)
+      if ep >= t.cache_valid_from then Hashtbl.replace t.cache key (ep, rows))
+
+let cache_invalidate_locked t new_epoch =
+  (* under [cache_m] *)
+  Hashtbl.reset t.cache;
+  t.cache_valid_from <- new_epoch;
+  t.c.invalidations <- t.c.invalidations + 1
+
+(* ---- answer projection from a snapshot, mirroring
+   [Rewritten.answers] without interning any tuple (the read path must
+   not write to the shared pools) ---- *)
+
+let rec drop n xs =
+  if n = 0 then xs else match xs with [] -> [] | _ :: r -> drop (n - 1) r
+
+let weave restore args =
+  if restore = [] then args
+  else begin
+    let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) restore in
+    let rec go pos ins rest =
+      match ins with
+      | (p, c) :: ins' when p = pos -> c :: go (pos + 1) ins' rest
+      | _ -> begin
+        match rest with
+        | [] -> List.map snd ins
+        | x :: rest' -> x :: go (pos + 1) ins rest'
+      end
+    in
+    go 0 sorted args
+  end
+
+let project_rows snap ~query ~index_fields ~restore =
+  let tuples = Engine.Snapshot.matching snap query in
+  let rows =
+    List.map
+      (fun tu ->
+        let args = drop index_fields (Engine.Tuple.to_list tu) in
+        List.map Term.to_string (weave restore args))
+      tuples
+  in
+  List.sort_uniq (List.compare String.compare) rows
+
+let rows_for_rewritten snap (rw : C.Rewritten.t) =
+  project_rows snap ~query:rw.C.Rewritten.query
+    ~index_fields:rw.C.Rewritten.index_fields ~restore:rw.C.Rewritten.restore
+
+let same_program p1 p2 = List.equal Rule.equal (Program.rules p1) (Program.rules p2)
+
+let err code fmt = Fmt.kstr (fun message -> Protocol.Error { code; message }) fmt
+
+let count_error t resp =
+  (match resp with
+  | Protocol.Error _ -> with_c t (fun c -> c.errors <- c.errors + 1)
+  | _ -> ());
+  resp
+
+(* ---- writes ---- *)
+
+let rebuild t =
+  (* under the write lock, after a blown budget left the maintained
+     state unspecified: recreate it from the shadow's committed writes
+     (unbounded — the shadow's fixpoint was live a moment ago, so it is
+     known to be affordable) and republish.  The epoch does not advance:
+     the logical state is exactly the last committed one, so surviving
+     cache entries stay valid. *)
+  let edb = Engine.Database.copy t.shadow in
+  t.session <-
+    Incr.Session.create ~strategy:t.strategy ~options:t.options t.program
+      t.query0 ~edb;
+  t.snapshot <- Engine.Snapshot.capture ~epoch:t.epoch (Incr.Session.db t.session);
+  with_c t (fun c -> c.rebuilds <- c.rebuilds + 1)
+
+let op_atom = function Incr.Maintain.Insert a | Incr.Maintain.Delete a -> a
+
+let transact t ops =
+  let t0 = now () in
+  (* clients update extensional state only: an op on a derived predicate
+     would inject external support the shadow cannot faithfully record,
+     so a later rebuild would silently drop it *)
+  match
+    List.find_opt
+      (fun op -> Symbol.Set.mem (Atom.symbol (op_atom op)) t.derived)
+      ops
+  with
+  | Some op ->
+    count_error t
+      (err Protocol.Bad_request
+         "%a is derived by the program; transactions may only update \
+          extensional relations"
+         Atom.pp (op_atom op))
+  | None ->
+  Rwlock.with_write t.lock (fun () ->
+      match Incr.Session.update ?max_facts:t.max_facts t.session ops with
+      | stats ->
+        List.iter
+          (function
+            | Incr.Maintain.Insert a ->
+              ignore (Engine.Database.add_fact t.shadow a)
+            | Incr.Maintain.Delete a ->
+              ignore (Engine.Database.remove_fact t.shadow a))
+          ops;
+        t.epoch <- t.epoch + 1;
+        t.snapshot <-
+          Engine.Snapshot.capture ~epoch:t.epoch (Incr.Session.db t.session);
+        absorb_maint t stats;
+        locked t.cache_m (fun () ->
+            cache_invalidate_locked t t.epoch;
+            t.c.txns <- t.c.txns + 1;
+            t.c.txn_ops <- t.c.txn_ops + List.length ops);
+        Protocol.Committed
+          { epoch = t.epoch; ops = List.length ops; time_s = now () -. t0 }
+      | exception Incr.Maintain.Budget_exhausted ->
+        rebuild t;
+        count_error t
+          (err Protocol.Budget
+             "transaction exceeded the maintenance budget (max-facts %d); \
+              state rolled back"
+             (Option.value ~default:0 t.max_facts))
+      | exception Invalid_argument msg ->
+        (* e.g. an op on a predicate the program derives; Maintain may
+           have partially applied, so roll back conservatively *)
+        rebuild t;
+        count_error t (err Protocol.Bad_request "%s" msg))
+
+let install_seeds t q =
+  Rwlock.with_write t.lock (fun () ->
+      match Incr.Session.query ?max_facts:t.max_facts t.session q with
+      | _answers, stats ->
+        (match Incr.Session.rewritten t.session with
+        | Some rw ->
+          List.iter
+            (fun s -> ignore (Engine.Database.add_fact t.shadow s))
+            rw.C.Rewritten.seeds
+        | None -> ());
+        t.epoch <- t.epoch + 1;
+        t.snapshot <-
+          Engine.Snapshot.capture ~epoch:t.epoch (Incr.Session.db t.session);
+        absorb_maint t stats;
+        locked t.cache_m (fun () ->
+            t.c.seed_installs <- t.c.seed_installs + 1;
+            (* cone growth is answer-preserving only for monotone
+               programs; under negation a lower-stratum gain can retract
+               a higher-stratum fact, so drop the cache *)
+            if not t.monotone then cache_invalidate_locked t t.epoch);
+        Ok ()
+      | exception Incr.Session.Incompatible_query msg ->
+        Error (err Protocol.Incompatible "%s" msg)
+      | exception Incr.Maintain.Budget_exhausted ->
+        rebuild t;
+        Error
+          (err Protocol.Budget
+             "installing the query's seeds exceeded the maintenance budget \
+              (max-facts %d); state rolled back"
+             (Option.value ~default:0 t.max_facts)))
+
+(* ---- reads ---- *)
+
+let answers_response ~t0 ~cache_hit ep rows =
+  Protocol.Answers
+    { epoch = ep; cache_hit; answers = rows; time_s = now () -. t0 }
+
+let query t q =
+  let t0 = now () in
+  with_c t (fun c -> c.queries <- c.queries + 1);
+  let key = cache_key q in
+  match cache_find t key with
+  | Some (ep, rows) ->
+    with_c t (fun c -> c.cache_hits <- c.cache_hits + 1);
+    answers_response ~t0 ~cache_hit:true ep rows
+  | None -> (
+    with_c t (fun c -> c.cache_misses <- c.cache_misses + 1);
+    match t.strategy with
+    | Original | Auto ->
+      (* full materialization: every predicate is in the snapshot *)
+      let ep, rows =
+        Rwlock.with_read t.lock (fun () ->
+            let snap = t.snapshot in
+            ( Engine.Snapshot.epoch snap,
+              project_rows snap ~query:q ~index_fields:0 ~restore:[] ))
+      in
+      cache_store t key ep rows;
+      answers_response ~t0 ~cache_hit:false ep rows
+    | GMS | GSMS -> (
+      (* the rewrite is purely symbolic: do it outside any lock *)
+      match
+        C.Rewrite.rewrite ~options:t.options
+          (match t.strategy with
+          | GMS -> C.Rewrite.GMS
+          | GSMS -> C.Rewrite.GSMS
+          | Original | Auto -> assert false)
+          t.program q
+      with
+      | exception e ->
+        count_error t
+          (err Protocol.Parse_error "cannot rewrite %a: %s" Atom.pp q
+             (Printexc.to_string e))
+      | rw' -> (
+        let read () =
+          Rwlock.with_read t.lock (fun () ->
+              let snap = t.snapshot in
+              let session_rw = Option.get (Incr.Session.rewritten t.session) in
+              if
+                not
+                  (same_program session_rw.C.Rewritten.program
+                     rw'.C.Rewritten.program)
+              then `Incompatible
+              else if
+                List.for_all (Engine.Snapshot.mem snap) rw'.C.Rewritten.seeds
+              then `Rows (Engine.Snapshot.epoch snap, rows_for_rewritten snap rw')
+              else `Install)
+        in
+        let finish ep rows =
+          cache_store t key ep rows;
+          answers_response ~t0 ~cache_hit:false ep rows
+        in
+        match read () with
+        | `Rows (ep, rows) -> finish ep rows
+        | `Incompatible ->
+          count_error t
+            (err Protocol.Incompatible
+               "query %a adorns to a different rewritten program than the \
+                session's"
+               Atom.pp q)
+        | `Install -> (
+          (* dynamic magic sets: grow the cone, then serve from the
+             republished snapshot *)
+          match install_seeds t q with
+          | Error resp -> count_error t resp
+          | Ok () -> (
+            match read () with
+            | `Rows (ep, rows) -> finish ep rows
+            | `Incompatible | `Install ->
+              count_error t
+                (err Protocol.Internal
+                   "seed installation for %a did not converge" Atom.pp q))))))
+
+let stats_fields t =
+  let ep, snap_total, strategy =
+    Rwlock.with_read t.lock (fun () ->
+        ( t.epoch,
+          Engine.Snapshot.total t.snapshot,
+          Incr.Session.strategy t.session ))
+  in
+  let c, entries =
+    locked t.cache_m (fun () ->
+        ( {
+            t.c with
+            queries = t.c.queries (* copy: read outside the lock *);
+          },
+          Hashtbl.length t.cache ))
+  in
+  [
+    ("epoch", string_of_int ep);
+    ("strategy", Engine.Json_out.str (Incr.Session.strategy_to_string strategy));
+    ("facts", string_of_int snap_total);
+    ("queries", string_of_int c.queries);
+    ("txns", string_of_int c.txns);
+    ("txn_ops", string_of_int c.txn_ops);
+    ("cache_entries", string_of_int entries);
+    ("cache_hits", string_of_int c.cache_hits);
+    ("cache_misses", string_of_int c.cache_misses);
+    ("cache_invalidations", string_of_int c.invalidations);
+    ("seed_installs", string_of_int c.seed_installs);
+    ("rebuilds", string_of_int c.rebuilds);
+    ("errors", string_of_int c.errors);
+    ("maint_facts", string_of_int c.maint_facts);
+    ("maint_firings", string_of_int c.maint_firings);
+  ]

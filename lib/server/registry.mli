@@ -1,0 +1,64 @@
+(** The daemon's shared state: one warm {!Incr.Session}, a published
+    {!Engine.Snapshot}, an adornment-keyed answer cache, and the
+    snapshot-epoch discipline tying them together.
+
+    {b Invariant (snapshot epochs).}  Every committed write — an EDB
+    transaction or a seed installation for a newly compatible query —
+    happens under the exclusive write lock, increments the epoch and
+    republishes a fresh snapshot before the lock is released.  Readers
+    pin the published snapshot under the read lock; since deletion
+    tombstones are only produced under the write lock, a pinned snapshot
+    is immutable for as long as the reader holds it, and every answer is
+    computed against exactly one committed epoch — never a half-applied
+    transaction.
+
+    {b Cache.}  Keyed by the query atom normalized up to variable
+    renaming.  An EDB transaction clears the cache and advances the
+    validity watermark, so a concurrent reader that computed answers
+    against the pre-transaction snapshot cannot re-insert a stale entry
+    after the clear.  A seed installation keeps the cache: growing the
+    magic cone adds support for {e new} queries but cannot change the
+    answers of queries whose seeds were already installed.
+
+    {b Budgets.}  [max_facts] bounds every maintenance transaction (EDB
+    ops and seed installs).  A blown budget leaves the maintained state
+    unspecified, so the registry rebuilds the session from its shadow
+    EDB (which records only committed writes, including installed
+    seeds) and reports a protocol error — the daemon never dies and
+    never serves the half-applied state. *)
+
+open Datalog
+
+type t
+
+val create :
+  ?strategy:Incr.Session.strategy ->
+  ?options:Magic_core.Rewrite.options ->
+  ?max_facts:int ->
+  Program.t ->
+  Atom.t ->
+  edb:Engine.Database.t ->
+  t
+(** Warm up a session for the program and initial query (strategy
+    defaults to [Auto]) and publish epoch-0 state. *)
+
+val query : t -> Atom.t -> Protocol.response
+(** Serve a read query from the published snapshot (installing its
+    seeds first if it is compatible but not yet covered).  Concurrent
+    with other [query] calls; never blocks them against each other. *)
+
+val transact : t -> Incr.Maintain.op list -> Protocol.response
+(** Apply one EDB transaction.  Serialized with all other writes and
+    exclusive against readers; on success the epoch advances and a new
+    snapshot is published.  Ops must target extensional relations — an
+    op on a predicate the program derives is refused with a
+    [bad-request] error (it would inject external support the shadow
+    cannot faithfully record across a rebuild). *)
+
+val stats_fields : t -> (string * string) list
+(** Daemon counters as [(name, json-value)] pairs for the stats reply. *)
+
+val epoch : t -> int
+(** The currently published epoch (0 right after {!create}). *)
+
+val session_strategy : t -> Incr.Session.strategy

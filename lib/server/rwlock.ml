@@ -1,0 +1,57 @@
+type t = {
+  m : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;
+  mutable writer : bool;
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let lock_read t =
+  Mutex.lock t.m;
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.can_read t.m
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.m
+
+let unlock_read t =
+  Mutex.lock t.m;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.m
+
+let lock_write t =
+  Mutex.lock t.m;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.m
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.m
+
+let unlock_write t =
+  Mutex.lock t.m;
+  t.writer <- false;
+  if t.waiting_writers > 0 then Condition.signal t.can_write
+  else Condition.broadcast t.can_read;
+  Mutex.unlock t.m
+
+let with_read t f =
+  lock_read t;
+  Fun.protect ~finally:(fun () -> unlock_read t) f
+
+let with_write t f =
+  lock_write t;
+  Fun.protect ~finally:(fun () -> unlock_write t) f

@@ -1,0 +1,20 @@
+(** Write-preferring reader/writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Arriving writers block {e new} readers (write preference),
+    so a steady read stream cannot starve transactions — the fairness
+    property the serving layer's snapshot-republish discipline needs:
+    readers pin the published {!Engine.Snapshot} under the read lock,
+    writers mutate and republish under the write lock. *)
+
+type t
+
+val create : unit -> t
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run the thunk holding a read lock; always released, including on
+    exceptions. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run the thunk holding the exclusive write lock; always released,
+    including on exceptions. *)

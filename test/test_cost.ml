@@ -113,6 +113,33 @@ let test_mid_chain_prefers_rewrite () =
     true
     (t.PCo.winner.PCo.name <> "seminaive")
 
+let test_chain_estimate_within_10x () =
+  (* the old 1% relative-stability threshold froze the closure estimate
+     near round 100 — an order of magnitude short on a 2000-chain whose
+     true closure holds ~2e6 pairs; growth-trend detection must carry
+     the fixpoint to the round horizon instead *)
+  let t = choose (ancestor_src (chain 2000) "a(n0, Y)") in
+  let e =
+    List.find (fun (e : PCo.estimate) -> e.PCo.name = "seminaive") t.PCo.ranked
+  in
+  let truth = 2000. *. 2001. /. 2. in
+  Alcotest.(check bool)
+    (Fmt.str "est %.3g within 10x of %.0f" e.PCo.est_facts truth)
+    true
+    (e.PCo.est_facts >= truth /. 10. && e.PCo.est_facts <= truth *. 10.)
+
+let test_mid_chain_cone_estimate () =
+  (* a seed in the middle of a 1000-chain reaches 501 constants; the
+     measured descent cone must pin the magic estimate near that rather
+     than freezing early (the old threshold stopped near 100) or
+     widening to the whole universe *)
+  let t = choose (ancestor_src (chain 1000) "a(n500, Y)") in
+  let e = List.find (fun (e : PCo.estimate) -> e.PCo.name = "gms") t.PCo.ranked in
+  Alcotest.(check bool)
+    (Fmt.str "est_magic %.0f within 2x of 501" e.PCo.est_magic)
+    true
+    (e.PCo.est_magic >= 251. && e.PCo.est_magic <= 1002.)
+
 let test_whole_cone_prefers_seminaive () =
   (* querying the chain's root makes the cone the whole database:
      the rewriting machinery is pure overhead and W062 explains it *)
@@ -188,6 +215,10 @@ let suite =
       test_shallow_chain_counting_viable;
     Alcotest.test_case "cost: mid chain prefers rewrite" `Quick
       test_mid_chain_prefers_rewrite;
+    Alcotest.test_case "cost: chain estimate within 10x" `Quick
+      test_chain_estimate_within_10x;
+    Alcotest.test_case "cost: mid chain cone estimate" `Quick
+      test_mid_chain_cone_estimate;
     Alcotest.test_case "cost: whole cone prefers seminaive" `Quick
       test_whole_cone_prefers_seminaive;
     Alcotest.test_case "cost: extensional query trivial" `Quick

@@ -269,9 +269,40 @@ let prop_session_equals_scratch =
               (run_method meth p q (Engine.Database.of_facts !shadow)))
         txns)
 
+(* ------------------------------------------------------------------ *)
+(* update-script parsing: located diagnostics, never exceptions        *)
+(* ------------------------------------------------------------------ *)
+
+let script_error src =
+  match Incr.Script.parse_spanned src with
+  | Ok _ -> Alcotest.failf "expected a script error for %S" src
+  | Error e -> e
+
+let test_script_spans () =
+  (match Incr.Script.parse_spanned "% note\n+ p(a, b).\n? p(a, X).\n" with
+  | Ok [ Incr.Script.Assert _; Incr.Script.Query _ ] -> ()
+  | Ok _ -> Alcotest.fail "wrong items"
+  | Error e -> Alcotest.failf "clean script rejected: %s" e.message);
+  let e = script_error "+ p(a, b).\np(b, c).\n" in
+  Alcotest.(check int) "bad marker line" 2 e.Incr.Script.span.Loc.start.Loc.line;
+  let e = script_error "+ p(a, b).\n+ p(b" in
+  Alcotest.(check bool) "truncated mentions truncation" true
+    (String.length e.Incr.Script.message >= 9
+    && String.sub e.Incr.Script.message 0 9 = "truncated");
+  Alcotest.(check int) "truncated line" 2 e.Incr.Script.span.Loc.start.Loc.line;
+  let e = script_error "+ p(a, X).\n" in
+  Alcotest.(check int) "non-ground line" 1 e.Incr.Script.span.Loc.start.Loc.line;
+  (* the exception-style wrapper keeps its line-numbered message *)
+  match Incr.Script.parse "? p(a\n" with
+  | exception Incr.Script.Error msg ->
+    Alcotest.(check bool) "line number in message" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 1:")
+  | _ -> Alcotest.fail "expected Script.Error"
+
 let suite =
   [
     Alcotest.test_case "counting supports" `Quick test_counting_supports;
+    Alcotest.test_case "script: located errors" `Quick test_script_spans;
     Alcotest.test_case "counting external support" `Quick test_counting_external_support;
     Alcotest.test_case "dred rederives" `Quick test_dred_rederives;
     Alcotest.test_case "dred cycle" `Quick test_dred_cycle;

@@ -33,4 +33,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("cost", Test_cost.suite);
       ("incr", Test_incr.suite);
+      ("server", Test_server.suite);
     ]

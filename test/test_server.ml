@@ -1,0 +1,335 @@
+(* The serving subsystem of lib/server: protocol codecs and their error
+   paths, the write-preferring RW lock, snapshot stability under
+   insertion, the registry's cache/epoch discipline (hits, transaction
+   invalidation, monotone seed installs), budget-exhaustion recovery,
+   one socket end-to-end round, and the snapshot-consistency property
+   interleaving transactions with cross-domain reads. *)
+
+open Datalog
+open Helpers
+module C = Magic_core
+module P = Server.Protocol
+module M = Incr.Maintain
+
+let tc_src =
+  "path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y)."
+
+let n i = Term.Sym (Fmt.str "n%d" i)
+let edge a b = Atom.make "edge" [ a; b ]
+let path_q c = Atom.make "path" [ c; Term.Var "Ans" ]
+let rows = Alcotest.(list (list string))
+
+let reference_rows p q edb =
+  let rw = C.Magic_sets.rewrite (C.Adorn.adorn p q) in
+  let out = C.Rewritten.run ~engine:`Seminaive_reference rw ~edb in
+  List.sort_uniq
+    (List.compare String.compare)
+    (List.map
+       (fun tu -> List.map Term.to_string (Engine.Tuple.to_list tu))
+       (C.Rewritten.answers rw out))
+
+(* ------------------------------------------------------------------ *)
+(* protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match P.decode_request (P.encode_request r) with
+      | Ok r' -> Alcotest.(check bool) "request roundtrip" true (r = r')
+      | Error (P.Error { message; _ }) ->
+        Alcotest.failf "decode failed: %s" message
+      | Error _ -> Alcotest.fail "decode failed")
+    [
+      P.Stats;
+      P.Shutdown;
+      P.Query (atom "path(a, X)");
+      P.Query (atom "p(X, X)");
+      P.Txn [ M.Insert (atom "edge(a, b)"); M.Delete (atom "edge(b, c)") ];
+    ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun r ->
+      match P.decode_response (P.encode_response r) with
+      | Ok r' -> Alcotest.(check bool) "response roundtrip" true (r = r')
+      | Error msg -> Alcotest.failf "decode failed: %s" msg)
+    [
+      P.Answers
+        {
+          epoch = 3;
+          cache_hit = true;
+          answers = [ [ "a"; "b" ]; [ "c" ] ];
+          time_s = 0.25;
+        };
+      P.Answers { epoch = 0; cache_hit = false; answers = []; time_s = 0.5 };
+      P.Committed { epoch = 1; ops = 2; time_s = 0.125 };
+      P.Shutdown_ack;
+      P.Error { code = P.Budget; message = "over budget" };
+    ]
+
+let test_decode_errors () =
+  let code line =
+    match P.decode_request line with
+    | Error (P.Error { code; _ }) -> P.code_string code
+    | Error _ -> "not-an-error-response"
+    | Ok _ -> "accepted"
+  in
+  Alcotest.(check string) "truncated json" "bad-json" (code "{\"op\": ");
+  Alcotest.(check string) "trailing garbage" "bad-json" (code "{} {}");
+  Alcotest.(check string) "missing op" "bad-request" (code "{}");
+  Alcotest.(check string) "unknown op" "bad-request"
+    (code "{\"op\": \"frobnicate\"}");
+  Alcotest.(check string) "unparseable atom" "parse-error"
+    (code "{\"op\": \"query\", \"atom\": \"p(a\"}");
+  Alcotest.(check string) "non-ground txn" "non-ground"
+    (code "{\"op\": \"txn\", \"ops\": [{\"insert\": \"p(X)\"}]}");
+  Alcotest.(check string) "malformed op entry" "bad-request"
+    (code "{\"op\": \"txn\", \"ops\": [{\"upsert\": \"p(a)\"}]}")
+
+(* ------------------------------------------------------------------ *)
+(* rwlock / snapshot                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_rwlock_writes_exclusive () =
+  let l = Server.Rwlock.create () in
+  let counter = ref 0 in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 5_000 do
+              Server.Rwlock.with_write l (fun () -> incr counter)
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "all increments serialized" 20_000 !counter;
+  (* readers pass through and return values *)
+  Alcotest.(check int) "read passthrough" 7
+    (Server.Rwlock.with_read l (fun () -> 7))
+
+let test_snapshot_stable_under_insert () =
+  let edb = Engine.Database.of_facts [ atom "p(a, b)"; atom "p(a, c)" ] in
+  let snap = Engine.Snapshot.capture ~epoch:4 edb in
+  Alcotest.(check int) "epoch" 4 (Engine.Snapshot.epoch snap);
+  Alcotest.(check int) "total at capture" 2 (Engine.Snapshot.total snap);
+  ignore (Engine.Database.add_fact edb (atom "p(c, d)"));
+  ignore (Engine.Database.add_fact edb (atom "q(e)"));
+  Alcotest.(check int) "insertions invisible" 2 (Engine.Snapshot.total snap);
+  Alcotest.(check bool) "old fact visible" true
+    (Engine.Snapshot.mem snap (atom "p(a, b)"));
+  Alcotest.(check bool) "new fact invisible" false
+    (Engine.Snapshot.mem snap (atom "p(c, d)"));
+  Alcotest.(check int) "matching sees the view" 2
+    (List.length (Engine.Snapshot.matching snap (atom "p(a, X)")))
+
+(* ------------------------------------------------------------------ *)
+(* registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let chain_edb k extra =
+  Engine.Database.of_facts
+    (List.init k (fun i -> edge (n i) (n (i + 1))) @ extra)
+
+let test_registry_cache () =
+  let p = program tc_src in
+  let edb = chain_edb 3 [ edge (Term.Sym "m0") (Term.Sym "m1") ] in
+  let r =
+    Server.Registry.create ~strategy:Incr.Session.GMS p (path_q (n 0)) ~edb
+  in
+  (* first read misses, second hits — up to variable renaming *)
+  (match Server.Registry.query r (path_q (n 0)) with
+  | P.Answers { epoch = 0; cache_hit = false; answers; _ } ->
+    Alcotest.check rows "warm answers"
+      [ [ "n0"; "n1" ]; [ "n0"; "n2" ]; [ "n0"; "n3" ] ]
+      answers
+  | _ -> Alcotest.fail "expected a miss at epoch 0");
+  (match Server.Registry.query r (Atom.make "path" [ n 0; Term.Var "Z" ]) with
+  | P.Answers { cache_hit = true; _ } -> ()
+  | _ -> Alcotest.fail "renamed query must hit the cache");
+  (* a query outside the warm cone installs seeds: epoch advances, and
+     the cache survives (the maintained program is monotone) *)
+  (match Server.Registry.query r (path_q (Term.Sym "m0")) with
+  | P.Answers { epoch = 1; cache_hit = false; answers; _ } ->
+    Alcotest.check rows "installed cone answers" [ [ "m0"; "m1" ] ] answers
+  | _ -> Alcotest.fail "expected a seed install bumping the epoch");
+  (match Server.Registry.query r (path_q (n 0)) with
+  | P.Answers { cache_hit = true; _ } -> ()
+  | _ -> Alcotest.fail "cache must survive a monotone seed install");
+  (* an EDB transaction commits, invalidates, and the re-read sees it *)
+  (match Server.Registry.transact r [ M.Insert (edge (n 3) (n 4)) ] with
+  | P.Committed { epoch = 2; ops = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected a commit at epoch 2");
+  (match Server.Registry.query r (path_q (n 0)) with
+  | P.Answers { epoch = 2; cache_hit = false; answers; _ } ->
+    Alcotest.check rows "post-txn answers"
+      [ [ "n0"; "n1" ]; [ "n0"; "n2" ]; [ "n0"; "n3" ]; [ "n0"; "n4" ] ]
+      answers
+  | _ -> Alcotest.fail "transaction must invalidate the cache");
+  Alcotest.(check int) "published epoch" 2 (Server.Registry.epoch r)
+
+let test_registry_rejects_derived_op () =
+  let p = program tc_src in
+  let r =
+    Server.Registry.create ~strategy:Incr.Session.GMS p (path_q (n 0))
+      ~edb:(chain_edb 3 [])
+  in
+  (match Server.Registry.transact r [ M.Insert (atom "path(n0, n9)") ] with
+  | P.Error { code = P.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "updating a derived predicate must be refused");
+  (* the daemon state survives the refused transaction *)
+  match Server.Registry.query r (path_q (n 0)) with
+  | P.Answers { answers; _ } ->
+    Alcotest.check rows "state intact"
+      [ [ "n0"; "n1" ]; [ "n0"; "n2" ]; [ "n0"; "n3" ] ]
+      answers
+  | _ -> Alcotest.fail "query after refused txn"
+
+let test_registry_budget_recovery () =
+  let p = program tc_src in
+  let m i = Term.Sym (Fmt.str "m%d" i) in
+  (* a short warm cone from n0, plus a long chain entirely outside it *)
+  let edb =
+    chain_edb 2 (List.init 40 (fun i -> edge (m i) (m (i + 1))))
+  in
+  let r =
+    Server.Registry.create ~strategy:Incr.Session.GMS ~max_facts:60 p
+      (path_q (n 0)) ~edb
+  in
+  let before =
+    match Server.Registry.query r (path_q (n 0)) with
+    | P.Answers { answers; _ } -> answers
+    | _ -> Alcotest.fail "warm query"
+  in
+  (* bridging the cone into the long chain derives quadratically many
+     paths: past the budget, the reply is a protocol error, not a crash *)
+  (match Server.Registry.transact r [ M.Insert (edge (n 2) (m 0)) ] with
+  | P.Error { code = P.Budget; _ } -> ()
+  | P.Committed _ -> Alcotest.fail "bridge txn must exceed max-facts 60"
+  | _ -> Alcotest.fail "expected a budget error");
+  (* the rebuilt session still serves the last committed state *)
+  Alcotest.(check int) "epoch unchanged" 0 (Server.Registry.epoch r);
+  (match Server.Registry.query r (path_q (n 0)) with
+  | P.Answers { answers; _ } -> Alcotest.check rows "state rolled back" before answers
+  | _ -> Alcotest.fail "query after rollback");
+  (* and affordable transactions keep working *)
+  match Server.Registry.transact r [ M.Insert (edge (Term.Sym "x0") (Term.Sym "x1")) ] with
+  | P.Committed { epoch = 1; _ } -> ()
+  | _ -> Alcotest.fail "small txn after rebuild must commit"
+
+(* ------------------------------------------------------------------ *)
+(* daemon end to end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_socket_roundtrip () =
+  let p = program tc_src in
+  let r =
+    Server.Registry.create ~strategy:Incr.Session.GMS p (path_q (n 0))
+      ~edb:(chain_edb 3 [])
+  in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let port = ref None in
+  let on_ready = function
+    | Unix.ADDR_INET (_, p) ->
+      Mutex.lock m;
+      port := Some p;
+      Condition.signal cv;
+      Mutex.unlock m
+    | _ -> ()
+  in
+  let daemon =
+    Domain.spawn (fun () -> Server.Daemon.run ~jobs:2 ~on_ready (Server.Daemon.Tcp 0) r)
+  in
+  Mutex.lock m;
+  while !port = None do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  let c = Server.Client.tcp (Option.get !port) in
+  (match Server.Client.request c (P.Query (path_q (n 0))) with
+  | P.Answers { answers; _ } ->
+    Alcotest.check rows "served answers"
+      [ [ "n0"; "n1" ]; [ "n0"; "n2" ]; [ "n0"; "n3" ] ]
+      answers
+  | _ -> Alcotest.fail "query over the socket");
+  (match Server.Client.request c (P.Txn [ M.Insert (edge (n 3) (n 4)) ]) with
+  | P.Committed { epoch = 1; _ } -> ()
+  | _ -> Alcotest.fail "txn over the socket");
+  (match Server.Client.request c (P.Query (path_q (n 0))) with
+  | P.Answers { epoch = 1; answers; _ } ->
+    Alcotest.(check int) "post-txn count" 4 (List.length answers)
+  | _ -> Alcotest.fail "re-read over the socket");
+  (match Server.Client.request c (P.Stats) with
+  | P.Stats_reply fields ->
+    Alcotest.(check (option string)) "epoch stat" (Some "1")
+      (List.assoc_opt "epoch" fields)
+  | _ -> Alcotest.fail "stats over the socket");
+  (match Server.Client.request c P.Shutdown with
+  | P.Shutdown_ack -> ()
+  | _ -> Alcotest.fail "shutdown over the socket");
+  Server.Client.close c;
+  Domain.join daemon
+
+(* ------------------------------------------------------------------ *)
+(* property: serve-loop reads equal from-scratch evaluation            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_edge_op =
+  let open QCheck2.Gen in
+  let* a = int_bound 6 in
+  let* b = int_bound 6 in
+  map (fun del -> if del then M.Delete (edge (n a) (n b)) else M.Insert (edge (n a) (n b))) bool
+
+let prop_serve_consistency =
+  qtest ~count:30 "serve: reads equal scratch after each txn"
+    QCheck2.Gen.(
+      list_size (int_range 1 6) (pair gen_edge_op (int_bound 6)))
+    (fun steps ->
+      let p = program tc_src in
+      let base = List.init 4 (fun i -> edge (n i) (n (i + 1))) in
+      let r =
+        Server.Registry.create ~strategy:Incr.Session.GMS p (path_q (n 0))
+          ~edb:(Engine.Database.of_facts base)
+      in
+      let mirror = Engine.Database.of_facts base in
+      List.for_all
+        (fun (op, k) ->
+          (match Server.Registry.transact r [ op ] with
+          | P.Committed _ -> ()
+          | P.Error { message; _ } -> Alcotest.failf "txn refused: %s" message
+          | _ -> Alcotest.fail "unexpected txn reply");
+          (match op with
+          | M.Insert a -> ignore (Engine.Database.add_fact mirror a)
+          | M.Delete a -> ignore (Engine.Database.remove_fact mirror a));
+          (* the read runs on another domain, through the snapshot *)
+          let served =
+            Domain.join
+              (Domain.spawn (fun () -> Server.Registry.query r (path_q (n k))))
+          in
+          match served with
+          | P.Answers { answers; _ } ->
+            answers
+            = reference_rows p (path_q (n k)) (Engine.Database.copy mirror)
+          | P.Error { message; _ } -> Alcotest.failf "read failed: %s" message
+          | _ -> false)
+        steps)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "protocol: response roundtrip" `Quick
+      test_response_roundtrip;
+    Alcotest.test_case "protocol: decode errors" `Quick test_decode_errors;
+    Alcotest.test_case "rwlock: writes exclusive" `Quick
+      test_rwlock_writes_exclusive;
+    Alcotest.test_case "snapshot: stable under insert" `Quick
+      test_snapshot_stable_under_insert;
+    Alcotest.test_case "registry: cache discipline" `Quick test_registry_cache;
+    Alcotest.test_case "registry: derived op refused" `Quick
+      test_registry_rejects_derived_op;
+    Alcotest.test_case "registry: budget recovery" `Quick
+      test_registry_budget_recovery;
+    Alcotest.test_case "daemon: socket roundtrip" `Quick
+      test_daemon_socket_roundtrip;
+    prop_serve_consistency;
+  ]
