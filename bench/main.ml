@@ -923,8 +923,10 @@ type opt_case = {
   olabel : string;
   ochoice : A.t;
   osel_t : float;  (* wall clock of Analysis.choose_strategy *)
-  (* every viable candidate: (method, result, best time, gc counters) *)
+  (* every timed candidate: (method, result, best time, gc counters) *)
   orows : (string * C.Rewrite.result * float * Engine.Stats.gc_counters) list;
+  (* viable candidates not timed: (method, estimated score ratio) *)
+  oskipped : (string * float) list;
   oauto_t : float;  (* selection time + the winner's row time *)
   obest_name : string;
   obest_t : float;
@@ -943,6 +945,18 @@ let opt_workloads () =
   let dn, dd = if !smoke then (60, 4) else (150, 5) in
   let gw, gh = if !smoke then (12, 12) else (20, 20) in
   let bb, bd = if !smoke then (3, 4) else (3, 5) in
+  let hn = if !smoke then 100 else 200 in
+  (* spokes point deep into the chain: the full sip passes the spoke
+     targets into tc (a cone of n/4 nodes) while the bound-only sip
+     drops the intermediate binding and recomputes the whole closure —
+     the families where the sip collection choice decides the row *)
+  let hub_edb =
+    let hs = 3 * hn / 4 in
+    G.db
+      (G.chain hn
+      @ List.init 3 (fun i ->
+            Atom.make "spoke" [ G.node "h" 0; G.node "n" (hs + i) ]))
+  in
   [
     ( "chain_root",
       Fmt.str "chain n=%d, query root" cn_root,
@@ -979,6 +993,11 @@ let opt_workloads () =
       P.same_generation_linear,
       P.same_generation_query (G.node "bsg" 1),
       G.db (G.bushy_same_generation ~branching:bb ~depth:bd ()) );
+    ( "hub",
+      Fmt.str "hub over chain n=%d, spokes at 3n/4" hn,
+      P.hub,
+      P.hub_query (G.node "h" 0),
+      hub_edb );
   ]
 
 let opt_case (okey, olabel, p, q, edb) =
@@ -988,10 +1007,31 @@ let opt_case (okey, olabel, p, q, edb) =
      the query's cone on every family *)
   ignore (run "gms" p q edb);
   let ochoice, osel_t, _ = timed (fun () -> Analysis.choose_strategy ~db:edb p q) in
+  (* timing every viable candidate is the point of the table, but a
+     candidate whose estimate sits orders of magnitude past the
+     winner's would dominate the bench's wall clock just to confirm it
+     loses (the bound-only sip on a long chain recomputes the entire
+     closure) — such candidates are reported as skipped, never timed.
+     The margin is wide enough that a genuine contender (estimates are
+     routinely off by 2-5x) is never silenced. *)
+  let skip_ratio e =
+    e.A.score /. Float.max 1. ochoice.A.winner.A.score
+  in
+  let oskipped =
+    List.filter_map
+      (fun (e : A.estimate) ->
+        if
+          e.A.verdict = A.Viable
+          && e.A.name <> ochoice.A.winner.A.name
+          && skip_ratio e > 300.
+        then Some (e.A.name, skip_ratio e)
+        else None)
+      ochoice.A.ranked
+  in
   let orows =
     List.filter_map
       (fun (e : A.estimate) ->
-        if e.A.verdict <> A.Viable then None
+        if e.A.verdict <> A.Viable || List.mem_assoc e.A.name oskipped then None
         else begin
           (* like json_engine_speedup: a candidate must not inherit the
              major-heap growth of whichever row ran before it *)
@@ -1011,7 +1051,6 @@ let opt_case (okey, olabel, p, q, edb) =
       (status_string wr.C.Rewrite.status);
     exit 1
   end;
-  let oauto_t = osel_t +. wt in
   let obest_name, obest_t =
     List.fold_left
       (fun (bn, bt) (n, (r : C.Rewrite.result), t, _) ->
@@ -1023,15 +1062,37 @@ let opt_case (okey, olabel, p, q, edb) =
      once per query shape, reported separately — charging its 1-9ms to
      a sub-millisecond smoke row would measure the harness, not the
      pick.  The 2ms slack keeps micro rows out of scheduler-noise
-     territory. *)
-  if wt > (1.2 *. obest_t) +. 0.002 then begin
+     territory.  A first-pass breach is re-measured at a higher repeat
+     count before the run fails: the bar takes the minimum over many
+     candidate timings, so one lucky sample for any candidate (or one
+     unlucky one for the winner) sits well within scheduler noise. *)
+  let bar_ok wt bt = wt <= (1.2 *. bt) +. 0.002 in
+  let wt, obest_t =
+    if bar_ok wt obest_t || winner = obest_name then (wt, obest_t)
+    else begin
+      (* interleaved samples: two consecutive per-candidate windows
+         would pick up container-level drift that alternation cancels *)
+      let wt' = ref wt and bt' = ref obest_t in
+      for _ = 1 to 4 do
+        Gc.compact ();
+        let _, t1, _ = time (fun () -> run winner p q edb) in
+        Gc.compact ();
+        let _, t2, _ = time (fun () -> run obest_name p q edb) in
+        if t1 < !wt' then wt' := t1;
+        if t2 < !bt' then bt' := t2
+      done;
+      (!wt', !bt')
+    end
+  in
+  let oauto_t = osel_t +. wt in
+  if not (bar_ok wt obest_t) then begin
     Fmt.epr
       "OPT %s: auto-selected %s (%.6fs) exceeds 1.2x the best hand-picked \
        strategy (%s, %.6fs)@.%a@."
       olabel winner wt obest_name obest_t A.pp_report ochoice;
     exit 1
   end;
-  { okey; olabel; ochoice; osel_t; orows; oauto_t; obest_name; obest_t }
+  { okey; olabel; ochoice; osel_t; orows; oskipped; oauto_t; obest_name; obest_t }
 
 let opt_cases () = List.map opt_case (opt_workloads ())
 
@@ -1051,6 +1112,11 @@ let table_opt () =
             (if name = c.ochoice.A.winner.A.name then "  <- auto" else ""))
         c.orows;
       List.iter
+        (fun (name, ratio) ->
+          Fmt.pr "  %-12s skipped: estimated %.0fx the selected strategy@."
+            name ratio)
+        c.oskipped;
+      List.iter
         (fun (e : A.estimate) ->
           match e.A.verdict with
           | A.Excluded reason | A.Inapplicable reason ->
@@ -1068,7 +1134,9 @@ let table_opt () =
      of the best hand-picked one (the run exits 1 otherwise); selection is a \
      fixed per-query-shape cost reported separately; candidates the analysis \
      excludes (cyclic or path-saturated data under counting, chains past the \
-     numeric index depth) are never run.@."
+     numeric index depth) are never run, and viable candidates estimated \
+     300x past the selected strategy (the bound-only sip recomputing a \
+     long chain's closure) are skipped rather than timed.@."
 
 let json_opt () =
   let cases = opt_cases () in
@@ -1106,6 +1174,8 @@ let json_opt () =
           J.field (c.okey ^ "_ratio")
             (Fmt.str "%.2f" ((c.oauto_t -. c.osel_t) /. c.obest_t));
           J.field (c.okey ^ "_select_s") (Fmt.str "%.6f" c.osel_t);
+          J.field (c.okey ^ "_skipped")
+            (J.str (String.concat "," (List.map fst c.oskipped)));
         ])
       cases
   in
@@ -1284,6 +1354,224 @@ let serve_trial ~conns =
 
 let serve_conns = [ 1; 2; 4 ]
 
+(* ---- partitioned workload: two independent subprograms, writes
+   hammer one while queries hit both.  Run once per cache mode: the
+   [Partial] registry keeps every tcb entry (disjoint footprint) and
+   repairs tca entries across insert-only transactions, where the
+   [Full] registry starts both sides cold after every commit. ---- *)
+
+type part_result = {
+  pt_mode : string;  (* "partial" | "full" *)
+  pt_queries : int;
+  pt_txns : int;
+  pt_wall_s : float;
+  pt_qps : float;
+  pt_p50_ms : float;
+  pt_p99_ms : float;
+  pt_hit_rate : float;  (* the daemon's cache_hit_rate counter *)
+  pt_partial_inv : int;
+  pt_full_inv : int;
+  pt_repairs : int;
+  pt_evictions : int;
+  pt_verified : int;
+}
+
+let part_sizes () =
+  (* per-side chain length, requests per client, a txn every [te]
+     requests, query-key pool per side *)
+  if !smoke then (60, 120, 12, 6)
+  else if !full then (150, 800, 12, 6)
+  else (150, 350, 12, 6)
+
+let part_conns = 4
+
+let serve_part_trial mode =
+  let n, per_client, te, pool = part_sizes () in
+  let p = P.partitioned_tc in
+  let base_facts =
+    G.chain ~pred:"ea" ~prefix:"a" n @ G.chain ~pred:"eb" ~prefix:"b" n
+  in
+  let mode_name =
+    match mode with Server.Registry.Partial -> "partial" | Server.Registry.Full -> "full"
+  in
+  let sock = Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "magic_part_bench_%d_%s.sock" (Unix.getpid ()) mode_name)
+  in
+  let registry =
+    Server.Registry.create ~strategy:Incr.Session.Original ~cache_mode:mode p
+      (P.tca_query (G.node "a" 0))
+      ~edb:(G.db base_facts)
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.Daemon.run ~jobs:part_conns (Server.Daemon.Unix_path sock) registry)
+  in
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "SERVE part: %s@." m; exit 1) fmt in
+  let client_work i =
+    let c = Server.Client.unix sock in
+    let rng = G.rng (0xCAFE + (37 * i)) in
+    let latencies = ref [] in
+    let queries = ref [] (* (on_b, k, epoch, rows) *) in
+    let txns = ref [] (* (epoch, op) *) in
+    let pending_delete = ref None in
+    for t = 1 to per_client do
+      if t mod te = 0 then begin
+        (* every write lands in [ea]; [tcb] never changes *)
+        let op =
+          match !pending_delete with
+          | Some a ->
+            pending_delete := None;
+            Incr.Maintain.Delete a
+          | None ->
+            let j = G.next rng ~bound:n in
+            let aux = Term.Sym (Fmt.str "w_%d_%d" i t) in
+            let a = Atom.make "ea" [ G.node "a" j; aux ] in
+            pending_delete := Some a;
+            Incr.Maintain.Insert a
+        in
+        match Server.Client.request c (Server.Protocol.Txn [ op ]) with
+        | Server.Protocol.Committed { epoch; _ } -> txns := (epoch, op) :: !txns
+        | Server.Protocol.Error { message; _ } -> fail "txn rejected: %s" message
+        | _ -> fail "unexpected reply to txn"
+      end
+      else begin
+        let on_b = G.next rng ~bound:2 = 1 in
+        let k = G.next rng ~bound:pool in
+        let atom =
+          if on_b then P.tcb_query (G.node "b" k) else P.tca_query (G.node "a" k)
+        in
+        let t0 = Unix.gettimeofday () in
+        match Server.Client.request c (Server.Protocol.Query atom) with
+        | Server.Protocol.Answers { epoch; answers; _ } ->
+          latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+          queries := (on_b, k, epoch, answers) :: !queries
+        | Server.Protocol.Error { message; _ } -> fail "query rejected: %s" message
+        | _ -> fail "unexpected reply to query"
+      end
+    done;
+    Server.Client.close c;
+    (!latencies, !queries, !txns)
+  in
+  let t0 = Unix.gettimeofday () in
+  let doms = List.init part_conns (fun i -> Domain.spawn (fun () -> client_work i)) in
+  let results = List.map Domain.join doms in
+  let wall = Unix.gettimeofday () -. t0 in
+  let ctl = Server.Client.unix sock in
+  (match Server.Client.request ctl Server.Protocol.Shutdown with
+  | Server.Protocol.Shutdown_ack -> ()
+  | _ -> fail "daemon did not acknowledge shutdown");
+  Server.Client.close ctl;
+  Domain.join daemon;
+  let stats = Server.Registry.stats_fields registry in
+  let stat name =
+    match List.assoc_opt name stats with
+    | Some v -> v
+    | None -> fail "stats reply lacks the %s counter" name
+  in
+  (* ---- verification: replay the transactions in epoch order and
+     check every answer set against the reference engine on the EDB
+     state of its epoch.  The b side is never written, so its
+     reference rows depend on the key alone. ---- *)
+  let all_txns =
+    List.sort
+      (fun (e1, _) (e2, _) -> Int.compare e1 e2)
+      (List.concat_map (fun (_, _, t) -> t) results)
+  in
+  let all_queries =
+    List.sort
+      (fun (_, _, e1, _) (_, _, e2, _) -> Int.compare e1 e2)
+      (List.concat_map (fun (_, q, _) -> q) results)
+  in
+  let state = G.db base_facts in
+  let memo = Hashtbl.create 64 in
+  let applied = ref 0 in
+  let ref_rows on_b k =
+    let key = if on_b then (-1, k) else (!applied, k) in
+    match Hashtbl.find_opt memo key with
+    | Some rows -> rows
+    | None ->
+      let q =
+        if on_b then P.tcb_query (G.node "b" k) else P.tca_query (G.node "a" k)
+      in
+      let rows =
+        List.sort
+          (List.compare String.compare)
+          (List.map
+             (fun tu -> List.map Term.to_string (Engine.Tuple.to_list tu))
+             (reference_answers p q state))
+      in
+      Hashtbl.replace memo key rows;
+      rows
+  in
+  let verified = ref 0 in
+  let rec verify txns queries =
+    match (txns, queries) with
+    | _, [] -> ()
+    | (te', op) :: txns', (_, _, qe, _) :: _ when te' <= qe ->
+      (match op with
+      | Incr.Maintain.Insert a -> ignore (Engine.Database.add_fact state a)
+      | Incr.Maintain.Delete a -> ignore (Engine.Database.remove_fact state a));
+      incr applied;
+      verify txns' queries
+    | _, (on_b, k, _, rows) :: queries' ->
+      if rows <> ref_rows on_b k then
+        fail "%s mode: answers for %s(%s_%d, Ans) diverge from the reference"
+          mode_name
+          (if on_b then "tcb" else "tca")
+          (if on_b then "b" else "a")
+          k;
+      incr verified;
+      verify txns queries'
+  in
+  verify all_txns all_queries;
+  let latencies =
+    List.sort Float.compare (List.concat_map (fun (l, _, _) -> l) results)
+  in
+  let nq = List.length latencies in
+  let pct pc =
+    if nq = 0 then 0.
+    else List.nth latencies (min (nq - 1) (int_of_float (pc *. float_of_int nq)))
+  in
+  {
+    pt_mode = mode_name;
+    pt_queries = nq;
+    pt_txns = List.length all_txns;
+    pt_wall_s = wall;
+    pt_qps = float_of_int nq /. wall;
+    pt_p50_ms = pct 0.50 *. 1e3;
+    pt_p99_ms = pct 0.99 *. 1e3;
+    pt_hit_rate = float_of_string (stat "cache_hit_rate");
+    pt_partial_inv = int_of_string (stat "partial_invalidations");
+    pt_full_inv = int_of_string (stat "full_invalidations");
+    pt_repairs = int_of_string (stat "cache_repairs");
+    pt_evictions = int_of_string (stat "cache_evictions");
+    pt_verified = !verified;
+  }
+
+(* the acceptance bar for the partitioned workload: the footprint
+   cache must actually hold on to the unwritten side — a hit rate at
+   least 0.5 and above the wipe-everything mode's, with nonzero
+   partial invalidations and nonzero repairs.  (The full-mode registry
+   must conversely never report a partial invalidation or a repair.) *)
+let check_partitioned (pp : part_result) (pf : part_result) =
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "SERVE part: %s@." m; exit 1) fmt in
+  if pp.pt_partial_inv = 0 then fail "partial mode performed no partial invalidation";
+  if pp.pt_repairs = 0 then fail "partial mode performed no cache repair";
+  if pp.pt_full_inv > 0 then fail "partial mode fell back to a full wipe";
+  if pf.pt_partial_inv > 0 || pf.pt_repairs > 0 then
+    fail "full mode reported partial-invalidation work";
+  if pp.pt_hit_rate < 0.5 then
+    fail "partial-mode hit rate %.4f below the 0.5 bar" pp.pt_hit_rate;
+  if pp.pt_hit_rate <= pf.pt_hit_rate then
+    fail "partial-mode hit rate %.4f does not beat full mode's %.4f"
+      pp.pt_hit_rate pf.pt_hit_rate
+
+let part_results () =
+  let pp = serve_part_trial Server.Registry.Partial in
+  let pf = serve_part_trial Server.Registry.Full in
+  check_partitioned pp pf;
+  [ pp; pf ]
+
 let table_serve () =
   header
     (Fmt.str "Table SERVE — concurrent serving over a warm magic session%s"
@@ -1300,13 +1588,32 @@ let table_serve () =
         r.sr_queries r.sr_txns r.sr_qps r.sr_p50_ms r.sr_p99_ms r.sr_cache_hits
         r.sr_epoch r.sr_verified)
     serve_conns;
+  let n, qpc, te, pool = part_sizes () in
+  Fmt.pr
+    "@.partitioned workload: two independent closures (tca over ea, tcb over \
+     eb), chains n=%d, %d requests/client over %d clients, every write \
+     hits ea, a txn every %d requests, %d query keys per side@.@." n qpc
+    part_conns te pool;
+  Fmt.pr "%8s %8s %6s %10s %9s %9s %9s %8s %8s %8s %9s@." "mode" "queries"
+    "txns" "qps" "p50_ms" "p99_ms" "hit_rate" "part_inv" "full_inv" "repairs"
+    "verified";
+  List.iter
+    (fun r ->
+      Fmt.pr "%8s %8d %6d %10.0f %9.3f %9.3f %9.4f %8d %8d %8d %9d@." r.pt_mode
+        r.pt_queries r.pt_txns r.pt_qps r.pt_p50_ms r.pt_p99_ms r.pt_hit_rate
+        r.pt_partial_inv r.pt_full_inv r.pt_repairs r.pt_verified)
+    (part_results ());
   Fmt.pr
     "@.shape: every answer set is verified against the reference engine on \
      the exact EDB state of the epoch it was served at (the run exits 1 \
      otherwise).  Reads share epoch-stamped snapshots while transactions \
-     serialize through the write lock and clear the answer cache, so miss \
-     costs concentrate right after commits; like the PAR numbers, scaling \
-     with connections is only visible on a multi-core container.@."
+     serialize through the write lock; under partial invalidation a commit \
+     evicts only the cache entries whose dependency footprint intersects \
+     the touched relations (repairing insert-only ones in place), so the \
+     partitioned run keeps the unwritten side's entries hot — the run \
+     exits 1 unless its hit rate clears 0.5 and beats the wipe-everything \
+     mode.  Like the PAR numbers, scaling with connections is only visible \
+     on a multi-core container.@."
 
 let json_serve () =
   let rows =
@@ -1328,7 +1635,41 @@ let json_serve () =
           ])
       serve_conns
   in
-  J.obj [ J.field "rows" (J.arr rows) ]
+  let parts = part_results () in
+  let part_rows =
+    List.map
+      (fun r ->
+        J.obj
+          [
+            J.field "mode" (J.str r.pt_mode);
+            J.field "conns" (string_of_int part_conns);
+            J.field "queries" (string_of_int r.pt_queries);
+            J.field "txns" (string_of_int r.pt_txns);
+            J.field "wall_s" (Fmt.str "%.6f" r.pt_wall_s);
+            J.field "qps" (Fmt.str "%.1f" r.pt_qps);
+            J.field "p50_ms" (Fmt.str "%.4f" r.pt_p50_ms);
+            J.field "p99_ms" (Fmt.str "%.4f" r.pt_p99_ms);
+            J.field "cache_hit_rate" (Fmt.str "%.4f" r.pt_hit_rate);
+            J.field "partial_invalidations" (string_of_int r.pt_partial_inv);
+            J.field "full_invalidations" (string_of_int r.pt_full_inv);
+            J.field "cache_repairs" (string_of_int r.pt_repairs);
+            J.field "cache_evictions" (string_of_int r.pt_evictions);
+            J.field "verified" (string_of_int r.pt_verified);
+          ])
+      parts
+  in
+  let rate mode =
+    match List.find_opt (fun r -> r.pt_mode = mode) parts with
+    | Some r -> Fmt.str "%.4f" r.pt_hit_rate
+    | None -> "0"
+  in
+  J.obj
+    [
+      J.field "rows" (J.arr rows);
+      J.field "partitioned_rows" (J.arr part_rows);
+      J.field "part_partial_hit_rate" (rate "partial");
+      J.field "part_full_hit_rate" (rate "full");
+    ]
 
 let emit_json only =
   let sections =

@@ -20,6 +20,7 @@ module Pass_sip = Pass_sip
 module Pass_card = Pass_card
 module Pass_cost = Pass_cost
 module Rewrite_lint = Rewrite_lint
+module Footprint = Footprint
 
 let all_rewritings = [ C.Rewrite.GMS; C.Rewrite.GSMS; C.Rewrite.GC; C.Rewrite.GSC ]
 

@@ -33,6 +33,7 @@ module Pass_sip = Pass_sip
 module Pass_card = Pass_card
 module Pass_cost = Pass_cost
 module Rewrite_lint = Rewrite_lint
+module Footprint = Footprint
 
 val all_rewritings : C.Rewrite.rewriting list
 (** GMS, GSMS, GC, GSC. *)

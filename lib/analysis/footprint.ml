@@ -1,0 +1,70 @@
+(* Predicate-level dependency footprints.
+
+   The footprint of a predicate is the set of predicates its stored
+   contents can transitively depend on — every EDB or IDB relation
+   whose change could possibly change the predicate's tuples.  It is
+   the invalidation granule of the serving layer's answer cache: a
+   transaction whose touched set is disjoint from a cached query's
+   footprint cannot have changed that query's answers.
+
+   Footprints are computed over the *maintained* program (the magic
+   rewriting when the session holds one), so under dynamic magic sets
+   the footprint of an answer predicate includes its magic and
+   supplementary predicates and, through them, the EDB relations of
+   the cone — recursion through magic is just reachability here.
+
+   [neg_free] additionally records whether any dependency *inside* the
+   footprint is negated.  When it is, an insertion into a lower
+   predicate can retract a higher tuple, so cached answers can only be
+   repaired by appending maintained inserts when the footprint is
+   negation-free. *)
+
+open Datalog
+
+type t = {
+  preds : Symbol.Set.t;  (* reachable set, the root included *)
+  neg_free : bool;
+}
+
+type index = {
+  graph : Depgraph.t;
+  neg_edges : (Symbol.t * Symbol.t) list;  (* (src, dst) of negated deps *)
+  memo : t Symbol.Tbl.t;  (* not thread-safe: callers serialize *)
+}
+
+let index program =
+  let graph = Depgraph.of_rules (Program.rules program) in
+  let neg_edges =
+    List.filter_map
+      (fun (e : Depgraph.edge) ->
+        if e.Depgraph.negated then Some (e.Depgraph.src, e.Depgraph.dst)
+        else None)
+      (Depgraph.edges graph)
+  in
+  { graph; neg_edges; memo = Symbol.Tbl.create 16 }
+
+let of_pred idx sym =
+  match Symbol.Tbl.find_opt idx.memo sym with
+  | Some fp -> fp
+  | None ->
+    let preds = Depgraph.reachable idx.graph [ sym ] in
+    (* a negated edge inside the footprint: its source is reachable
+       from the root, so the root reads through that negation *)
+    let neg_free =
+      not
+        (List.exists
+           (fun (src, _) -> Symbol.Set.mem src preds)
+           idx.neg_edges)
+    in
+    let fp = { preds; neg_free } in
+    Symbol.Tbl.add idx.memo sym fp;
+    fp
+
+let preds fp = fp.preds
+let neg_free fp = fp.neg_free
+let mem fp sym = Symbol.Set.mem sym fp.preds
+
+let intersects fp set =
+  if Symbol.Set.cardinal set <= Symbol.Set.cardinal fp.preds then
+    Symbol.Set.exists (fun s -> Symbol.Set.mem s fp.preds) set
+  else Symbol.Set.exists (fun s -> Symbol.Set.mem s set) fp.preds

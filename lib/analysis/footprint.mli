@@ -1,0 +1,42 @@
+(** Predicate-level dependency footprints over a program's dependency
+    graph: for each predicate, the set of predicates it transitively
+    reads (EDB and IDB alike, itself included), plus whether any
+    dependency inside that set is negated.
+
+    This is the invalidation granule for caches over derived views: a
+    transaction that touches no predicate of a cached query's footprint
+    cannot have changed that query's answers; and when the footprint is
+    negation-free, every change it {e can} cause is monotone in the
+    touched relations, so insert-only transactions admit in-place
+    repair by appending maintained delta rows.
+
+    Computed over whatever program is actually maintained — for a magic
+    session that is the rewritten program, so footprints see recursion
+    through magic and supplementary predicates as ordinary
+    reachability. *)
+
+open Datalog
+
+type t
+
+type index
+(** Per-program memo of footprints.  Lookups memoize; the structure is
+    not thread-safe, so concurrent callers must serialize access (the
+    serving registry computes footprints under its cache mutex). *)
+
+val index : Program.t -> index
+
+val of_pred : index -> Symbol.t -> t
+(** The footprint of a predicate: {!Depgraph.reachable} from it (base
+    predicates included, the predicate itself included), with
+    [neg_free] false iff some reachable predicate depends negatively on
+    anything.  A predicate without rules (extensional, or simply
+    unknown to the program) has the singleton footprint of itself. *)
+
+val preds : t -> Symbol.Set.t
+val neg_free : t -> bool
+val mem : t -> Symbol.t -> bool
+
+val intersects : t -> Symbol.Set.t -> bool
+(** Does the footprint meet the given predicate set?  Iterates the
+    smaller side. *)

@@ -44,7 +44,14 @@ let runtime_weight = function
   | "gc-sj" | "gsc-sj" -> 2.
   | _ -> 1.
 
-(* tie-break order: cheaper machinery first at equal scores *)
+(* tie-break order: cheaper machinery first at equal scores.  The
+   [-chain] and [-bound] variants vary the sip {e collection}: chain
+   passes only adjacent-literal bindings, bound passes only the head's
+   bound variables — both can beat the full sip when intermediate
+   bindings blow up the supplementary relations, and lose badly when
+   dropping a binding unleashes an unrestricted sub-join.  They sit
+   after their full-sip counterparts so ties keep the historical
+   pick. *)
 let candidate_names =
   [
     "seminaive";
@@ -52,6 +59,8 @@ let candidate_names =
     "gsms";
     "gms-chain";
     "gsms-chain";
+    "gms-bound";
+    "gsms-bound";
     "gc";
     "gc-sj";
     "gsc";
@@ -357,6 +366,12 @@ let score_candidate ~db ~measured ~universe ~rounds_bound program query
                        (fun (a : Atom.t) ->
                          Atom.is_builtin a
                          || Symbol.Set.mem (Atom.symbol a) derived
+                         (* a guard predicate with no rules (the magic
+                            seed of a non-recursive query predicate)
+                            holds only root constants: it is not a
+                            descent step through the data and must not
+                            void the cap *)
+                         || is_guard rw.C.Rewritten.naming a.Atom.pred
                          || Atom.is_ground a
                          || List.length a.Atom.args = 2)
                        (Rule.body_atoms r))

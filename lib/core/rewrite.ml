@@ -110,6 +110,8 @@ let methods =
     ("gsms", Rewritten_bottom_up (GSMS, default_options));
     ("gms-chain", Rewritten_bottom_up (GMS, { default_options with sip = Sip.chain_left_to_right }));
     ("gsms-chain", Rewritten_bottom_up (GSMS, { default_options with sip = Sip.chain_left_to_right }));
+    ("gms-bound", Rewritten_bottom_up (GMS, { default_options with sip = Sip.head_only }));
+    ("gsms-bound", Rewritten_bottom_up (GSMS, { default_options with sip = Sip.head_only }));
     ("gc", Rewritten_bottom_up (GC, default_options));
     ("gsc", Rewritten_bottom_up (GSC, default_options));
     ("gc-sj", Rewritten_bottom_up (GC, { default_options with semijoin = true }));

@@ -42,6 +42,31 @@ type op = Insert of Atom.t | Delete of Atom.t
 
 exception Budget_exhausted
 
+(* Per-transaction change summary: the net effect on every touched
+   relation (base and derived alike), built from the repair state the
+   delta passes compute anyway.  [d_added] materializes the inserted
+   tuples so callers (the serving layer's cache repair) can append them
+   to derived views; it is [None] when the insertion delta exceeds
+   [added_cap] — summarizing stays O(delta), and a caller that needed
+   the rows falls back to recomputation. *)
+type delta = {
+  d_pred : Symbol.t;
+  d_inserted : int;
+  d_deleted : int;
+  d_added : Tup.t list option;
+}
+
+type summary = delta list
+
+let added_cap = 10_000
+
+let touched summary =
+  List.fold_left
+    (fun acc d -> Symbol.Set.add d.d_pred acc)
+    Symbol.Set.empty summary
+
+let has_deletions summary = List.exists (fun d -> d.d_deleted > 0) summary
+
 (* One rule compiled for maintenance: delta instances at every positive
    non-builtin body position (any stored predicate may change), plus,
    for each negated body position, a delta instance of the transformed
@@ -607,7 +632,37 @@ let net_ops mem0 ops =
       else (dels, adds))
     state ([], [])
 
-let apply ?max_facts t ops =
+(* summarize the transaction's net effect from the repair state: the
+   deleted-tuple relations are carried in [changes] and the inserted
+   tuples are exactly the live stamps at or above each watermark *)
+let summarize t changes =
+  let deltas =
+    Symbol.Tbl.fold
+      (fun sym (c : change) acc ->
+        let deleted = Rel.cardinal c.dminus in
+        let inserted = ref 0 in
+        let rows = ref [] in
+        (match Db.find t.db sym with
+        | None -> ()
+        | Some rel ->
+          Rel.iter_in rel ~lo:c.w ~hi:max_int (fun tu ->
+              incr inserted;
+              if !inserted <= added_cap then rows := tu :: !rows));
+        if deleted = 0 && !inserted = 0 then acc
+        else
+          {
+            d_pred = sym;
+            d_inserted = !inserted;
+            d_deleted = deleted;
+            d_added =
+              (if !inserted > added_cap then None else Some (List.rev !rows));
+          }
+          :: acc)
+      changes []
+  in
+  List.sort (fun a b -> Symbol.compare a.d_pred b.d_pred) deltas
+
+let apply_delta ?max_facts t ops =
   let stats = Stats.create () in
   let budget = Option.map ref max_facts in
   let changes = Symbol.Tbl.create 8 in
@@ -656,7 +711,9 @@ let apply ?max_facts t ops =
       | Counting -> process_counting t ~stats ~changes ~ext_ops ~budget u
       | DRed -> process_dred t ~stats ~changes ~ext_ops ~budget u)
     t.units;
-  stats
+  (stats, summarize t changes)
+
+let apply ?max_facts t ops = fst (apply_delta ?max_facts t ops)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)

@@ -40,6 +40,27 @@ val create : ?max_facts:int -> Program.t -> edb:Engine.Database.t -> t
     accounts for, and persist until retracted.
     @raise Invalid_argument if the program is not stratifiable. *)
 
+type delta = {
+  d_pred : Symbol.t;  (** the touched relation (base or derived) *)
+  d_inserted : int;  (** net tuples inserted this transaction *)
+  d_deleted : int;  (** net tuples deleted this transaction *)
+  d_added : Engine.Tuple.t list option;
+      (** the inserted tuples themselves, or [None] when there are more
+          than an internal cap (summarizing must stay O(delta)); a
+          caller needing the rows then falls back to recomputation *)
+}
+(** One touched relation's net effect in a transaction's change
+    summary.  A relation with both [d_inserted = 0] and [d_deleted = 0]
+    is never reported. *)
+
+type summary = delta list
+(** A transaction's change summary, sorted by predicate.  The effect is
+    net: a tuple overdeleted and rederived by DRed lands below the
+    watermark and appears in neither count. *)
+
+val touched : summary -> Symbol.Set.t
+val has_deletions : summary -> bool
+
 val apply : ?max_facts:int -> t -> op list -> Engine.Stats.t
 (** Apply one transaction: all ops take effect atomically (a tuple
     deleted and re-inserted in the same transaction does not churn),
@@ -48,6 +69,11 @@ val apply : ?max_facts:int -> t -> op list -> Engine.Stats.t
     external support.  Returns the transaction's maintenance statistics
     ([overdeleted], [rederived], [delta_firings], [probes]).
     @raise Invalid_argument on a non-ground atom. *)
+
+val apply_delta : ?max_facts:int -> t -> op list -> Engine.Stats.t * summary
+(** {!apply}, also returning the transaction's change summary — which
+    relations changed and by how much.  This is the information partial
+    cache invalidation feeds on; building it costs O(delta). *)
 
 val db : t -> Engine.Database.t
 (** The maintained database (EDB and all derived relations).  Treat as

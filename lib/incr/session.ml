@@ -79,6 +79,8 @@ let rec create ?(strategy = Original) ?(options = C.Rewrite.default_options) ?ma
 
 let update ?max_facts t ops = Maintain.apply ?max_facts t.maintain ops
 
+let update_delta ?max_facts t ops = Maintain.apply_delta ?max_facts t.maintain ops
+
 let answers t =
   match t.rw with
   | None -> Maintain.answers t.maintain t.query
@@ -92,11 +94,11 @@ let answers t =
 
 let same_program p1 p2 = List.equal Rule.equal (Program.rules p1) (Program.rules p2)
 
-let query ?max_facts t q =
+let query_delta ?max_facts t q =
   match t.strategy with
   | Original | Auto ->
     t.query <- q;
-    (answers t, Engine.Stats.create ())
+    (answers t, Engine.Stats.create (), [])
   | GMS | GSMS ->
     let rw = Option.get t.rw in
     let rw' = C.Rewrite.rewrite ~options:t.options (rewriting t.strategy) t.program q in
@@ -109,13 +111,17 @@ let query ?max_facts t q =
               Atom.pp q));
     (* dynamic magic sets: install the new query's seeds and let
        maintenance extend the magic cone incrementally *)
-    let stats =
-      Maintain.apply ?max_facts t.maintain
+    let stats, summary =
+      Maintain.apply_delta ?max_facts t.maintain
         (List.map (fun s -> Maintain.Insert s) rw'.C.Rewritten.seeds)
     in
     t.rw <- Some rw';
     t.query <- q;
-    (answers t, stats)
+    (answers t, stats, summary)
+
+let query ?max_facts t q =
+  let answers, stats, _summary = query_delta ?max_facts t q in
+  (answers, stats)
 
 let db t = Maintain.db t.maintain
 let current_query t = t.query

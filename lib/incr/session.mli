@@ -44,12 +44,26 @@ val update : ?max_facts:int -> t -> Maintain.op list -> Engine.Stats.t
 (** Apply one transaction of EDB insertions/deletions and repair all
     derived (including magic and supplementary) relations. *)
 
+val update_delta :
+  ?max_facts:int -> t -> Maintain.op list -> Engine.Stats.t * Maintain.summary
+(** {!update}, also surfacing the transaction's change summary (which
+    relations changed, by how much, and the inserted tuples) for
+    consumers that invalidate or repair derived views selectively. *)
+
 val query : ?max_facts:int -> t -> Atom.t -> Engine.Tuple.t list * Engine.Stats.t
 (** Make the atom the session's current query and return its answers
     with the maintenance statistics incurred (seed installation under a
     magic strategy; zero-cost under [Original]).
     @raise Incompatible_query under a magic strategy when the query
     adorns to a different rewritten program. *)
+
+val query_delta :
+  ?max_facts:int ->
+  t ->
+  Atom.t ->
+  Engine.Tuple.t list * Engine.Stats.t * Maintain.summary
+(** {!query}, also surfacing the change summary of the seed-install
+    transaction (empty under [Original], which installs nothing). *)
 
 val answers : t -> Engine.Tuple.t list
 (** Answers of the current query against the maintained state; under a

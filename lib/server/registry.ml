@@ -1,5 +1,8 @@
 open Datalog
 module C = Magic_core
+module Footprint = Analysis.Footprint
+
+type cache_mode = Partial | Full
 
 type counters = {
   mutable queries : int;
@@ -7,12 +10,28 @@ type counters = {
   mutable txn_ops : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
-  mutable invalidations : int;
+  mutable partial_invalidations : int;  (* commits that evicted selectively *)
+  mutable full_invalidations : int;  (* commits that wiped the cache *)
+  mutable cache_evictions : int;  (* entries dropped by selective passes *)
+  mutable cache_repairs : int;  (* entries repaired in place *)
   mutable seed_installs : int;
   mutable rebuilds : int;
   mutable errors : int;
   mutable maint_facts : int;
   mutable maint_firings : int;
+}
+
+(* One cached answer set, remembering enough of its projection to be
+   repaired in place: the backing answer predicate, the atom its tuples
+   are matched against, and the index-stripping/constant-restoring
+   shape of the rewriting (trivial under [Original]). *)
+type entry = {
+  e_pred : Symbol.t;
+  e_match : Atom.t;
+  e_index_fields : int;
+  e_restore : (int * Term.t) list;
+  mutable e_epoch : int;
+  mutable e_rows : string list list;
 }
 
 type t = {
@@ -33,8 +52,21 @@ type t = {
   monotone : bool;
       (* no negative literal in the maintained program: cone growth can
          only add facts, so seed installs keep the answer cache *)
+  cache_mode : cache_mode;
   cache_m : Mutex.t;
-  cache : (string, int * string list list) Hashtbl.t;
+  cache : (string, entry) Hashtbl.t;
+  fp_index : Footprint.index;  (* of the maintained program; under [cache_m] *)
+  fps : Footprint.t Symbol.Tbl.t;
+      (* footprints of every predicate that has been (or is being)
+         cached — the set a commit must bump watermarks for.  A reader
+         registers here {e before} computing rows, so a commit racing
+         with it always sees the predicate.  Under [cache_m]. *)
+  valid_from : int Symbol.Tbl.t;
+      (* per-predicate validity watermark: entries for [p] computed
+         against an epoch below [valid_from(p)] may be stale and must
+         not enter the cache.  Bumped by every commit whose change
+         summary intersects [p]'s footprint; [cache_valid_from] is the
+         global floor used by full wipes.  Under [cache_m]. *)
   mutable cache_valid_from : int;  (* under [cache_m] *)
   c : counters;  (* under [cache_m] *)
 }
@@ -66,8 +98,8 @@ let maintained_program session =
   | Some rw -> rw.C.Rewritten.program
   | None -> Incr.Session.program session
 
-let create ?(strategy = Incr.Session.Auto) ?options ?max_facts program query
-    ~edb =
+let create ?(strategy = Incr.Session.Auto) ?options ?max_facts
+    ?(cache_mode = Partial) program query ~edb =
   let shadow = Engine.Database.copy edb in
   let session =
     Incr.Session.create ~strategy ?options ?max_facts program query ~edb
@@ -95,8 +127,12 @@ let create ?(strategy = Incr.Session.Auto) ?options ?max_facts program query
     options = Incr.Session.options session;
     max_facts;
     monotone = not (has_negation (maintained_program session));
+    cache_mode;
     cache_m = Mutex.create ();
     cache = Hashtbl.create 64;
+    fp_index = Footprint.index (maintained_program session);
+    fps = Symbol.Tbl.create 16;
+    valid_from = Symbol.Tbl.create 16;
     cache_valid_from = 0;
     c =
       {
@@ -105,7 +141,10 @@ let create ?(strategy = Incr.Session.Auto) ?options ?max_facts program query
         txn_ops = 0;
         cache_hits = 0;
         cache_misses = 0;
-        invalidations = 0;
+        partial_invalidations = 0;
+        full_invalidations = 0;
+        cache_evictions = 0;
+        cache_repairs = 0;
         seed_installs = 0;
         rebuilds = 0;
         errors = 0;
@@ -129,23 +168,55 @@ let cache_key (a : Atom.t) =
     (Atom.vars a);
   Atom.to_string (Atom.rename (fun v -> Hashtbl.find tbl v) a)
 
+(* ---- footprints and validity watermarks (all under [cache_m]) ---- *)
+
+let footprint_locked t pred =
+  match Symbol.Tbl.find_opt t.fps pred with
+  | Some fp -> fp
+  | None ->
+    let fp = Footprint.of_pred t.fp_index pred in
+    Symbol.Tbl.add t.fps pred fp;
+    fp
+
+(* announce that answers backed by [pred] are being computed, so a
+   commit racing with the computation bumps [pred]'s watermark and the
+   late {!cache_store} is rejected.  Must run before the read lock is
+   taken (see the ordering argument at [transact]). *)
+let register_pred t pred = locked t.cache_m (fun () -> ignore (footprint_locked t pred))
+
+let valid_from_locked t pred =
+  max t.cache_valid_from
+    (Option.value ~default:0 (Symbol.Tbl.find_opt t.valid_from pred))
+
 let cache_find t key =
   locked t.cache_m (fun () ->
       match Hashtbl.find_opt t.cache key with
-      | Some (ep, _) when ep < t.cache_valid_from -> None
-      | entry -> entry)
+      | Some e when e.e_epoch >= valid_from_locked t e.e_pred ->
+        Some (e.e_epoch, e.e_rows)
+      | _ -> None)
 
-let cache_store t key ep rows =
+let cache_store t key ~pred ~match_atom ~index_fields ~restore ep rows =
   locked t.cache_m (fun () ->
-      (* a transaction may have invalidated while we computed against
+      ignore (footprint_locked t pred);
+      (* a commit may have invalidated [pred] while we computed against
          the older snapshot: never re-insert a stale entry *)
-      if ep >= t.cache_valid_from then Hashtbl.replace t.cache key (ep, rows))
+      if ep >= valid_from_locked t pred then
+        Hashtbl.replace t.cache key
+          {
+            e_pred = pred;
+            e_match = match_atom;
+            e_index_fields = index_fields;
+            e_restore = restore;
+            e_epoch = ep;
+            e_rows = rows;
+          })
 
-let cache_invalidate_locked t new_epoch =
+let full_invalidate_locked t new_epoch =
   (* under [cache_m] *)
   Hashtbl.reset t.cache;
   t.cache_valid_from <- new_epoch;
-  t.c.invalidations <- t.c.invalidations + 1
+  Symbol.Tbl.reset t.valid_from;
+  t.c.full_invalidations <- t.c.full_invalidations + 1
 
 (* ---- answer projection from a snapshot, mirroring
    [Rewritten.answers] without interning any tuple (the read path must
@@ -170,20 +241,97 @@ let weave restore args =
     go 0 sorted args
   end
 
+let row_of_tuple ~index_fields ~restore tu =
+  let args = drop index_fields (Engine.Tuple.to_list tu) in
+  List.map Term.to_string (weave restore args)
+
 let project_rows snap ~query ~index_fields ~restore =
   let tuples = Engine.Snapshot.matching snap query in
-  let rows =
-    List.map
-      (fun tu ->
-        let args = drop index_fields (Engine.Tuple.to_list tu) in
-        List.map Term.to_string (weave restore args))
-      tuples
-  in
+  let rows = List.map (row_of_tuple ~index_fields ~restore) tuples in
   List.sort_uniq (List.compare String.compare) rows
 
 let rows_for_rewritten snap (rw : C.Rewritten.t) =
   project_rows snap ~query:rw.C.Rewritten.query
     ~index_fields:rw.C.Rewritten.index_fields ~restore:rw.C.Rewritten.restore
+
+(* ---- partial invalidation and in-place repair ----
+
+   A committed change summary names every relation that changed.  An
+   entry whose footprint is disjoint from the touched set kept exactly
+   its rows (nothing it can read changed), so it survives with its
+   epoch advanced.  An entry whose footprint intersects is normally
+   evicted — but when the transaction deleted nothing and the entry's
+   footprint is negation-free, every consequence of the transaction is
+   monotone, so the entry's rows after the commit are its rows before
+   plus the projection of the answer predicate's maintained insertions:
+   we append those (the counting/DRed passes computed them anyway) and
+   keep the entry hot. *)
+
+let repair_entry e added new_epoch =
+  let extra =
+    List.filter_map
+      (fun tu ->
+        match
+          Subst.match_list e.e_match.Atom.args (Engine.Tuple.to_list tu)
+            Subst.empty
+        with
+        | Some _ ->
+          Some
+            (row_of_tuple ~index_fields:e.e_index_fields ~restore:e.e_restore tu)
+        | None -> None)
+      added
+  in
+  if extra <> [] then
+    e.e_rows <-
+      List.sort_uniq (List.compare String.compare)
+        (List.rev_append extra e.e_rows);
+  e.e_epoch <- new_epoch
+
+let apply_summary_locked t new_epoch (summary : Incr.Maintain.summary) =
+  (* under [cache_m] *)
+  match t.cache_mode with
+  | Full -> full_invalidate_locked t new_epoch
+  | Partial ->
+    let touched = Incr.Maintain.touched summary in
+    if Symbol.Set.is_empty touched then ()
+    else begin
+      let repairable = not (Incr.Maintain.has_deletions summary) in
+      let added_of pred =
+        match
+          List.find_opt
+            (fun (d : Incr.Maintain.delta) -> Symbol.equal d.d_pred pred)
+            summary
+        with
+        | None -> Some []  (* untouched answer relation: rows unchanged *)
+        | Some d -> d.Incr.Maintain.d_added  (* None above the cap *)
+      in
+      (* watermarks first: every predicate a reader may be computing
+         right now, cached entry or not *)
+      Symbol.Tbl.iter
+        (fun pred fp ->
+          if Footprint.intersects fp touched then
+            Symbol.Tbl.replace t.valid_from pred new_epoch)
+        t.fps;
+      let evict = ref [] in
+      Hashtbl.iter
+        (fun key e ->
+          let fp = footprint_locked t e.e_pred in
+          if not (Footprint.intersects fp touched) then
+            (* untouched footprint: rows invariant under this commit *)
+            e.e_epoch <- new_epoch
+          else if repairable && Footprint.neg_free fp then begin
+            match added_of e.e_pred with
+            | Some added ->
+              repair_entry e added new_epoch;
+              t.c.cache_repairs <- t.c.cache_repairs + 1
+            | None -> evict := key :: !evict
+          end
+          else evict := key :: !evict)
+        t.cache;
+      List.iter (Hashtbl.remove t.cache) !evict;
+      t.c.cache_evictions <- t.c.cache_evictions + List.length !evict;
+      t.c.partial_invalidations <- t.c.partial_invalidations + 1
+    end
 
 let same_program p1 p2 = List.equal Rule.equal (Program.rules p1) (Program.rules p2)
 
@@ -231,8 +379,8 @@ let transact t ops =
          Atom.pp (op_atom op))
   | None ->
   Rwlock.with_write t.lock (fun () ->
-      match Incr.Session.update ?max_facts:t.max_facts t.session ops with
-      | stats ->
+      match Incr.Session.update_delta ?max_facts:t.max_facts t.session ops with
+      | stats, summary ->
         List.iter
           (function
             | Incr.Maintain.Insert a ->
@@ -245,7 +393,7 @@ let transact t ops =
           Engine.Snapshot.capture ~epoch:t.epoch (Incr.Session.db t.session);
         absorb_maint t stats;
         locked t.cache_m (fun () ->
-            cache_invalidate_locked t t.epoch;
+            apply_summary_locked t t.epoch summary;
             t.c.txns <- t.c.txns + 1;
             t.c.txn_ops <- t.c.txn_ops + List.length ops);
         Protocol.Committed
@@ -265,8 +413,8 @@ let transact t ops =
 
 let install_seeds t q =
   Rwlock.with_write t.lock (fun () ->
-      match Incr.Session.query ?max_facts:t.max_facts t.session q with
-      | _answers, stats ->
+      match Incr.Session.query_delta ?max_facts:t.max_facts t.session q with
+      | _answers, stats, summary ->
         (match Incr.Session.rewritten t.session with
         | Some rw ->
           List.iter
@@ -279,10 +427,14 @@ let install_seeds t q =
         absorb_maint t stats;
         locked t.cache_m (fun () ->
             t.c.seed_installs <- t.c.seed_installs + 1;
-            (* cone growth is answer-preserving only for monotone
-               programs; under negation a lower-stratum gain can retract
-               a higher-stratum fact, so drop the cache *)
-            if not t.monotone then cache_invalidate_locked t t.epoch);
+            (* cone growth is answer-preserving for monotone programs:
+               every cached entry (and every in-flight read) stays
+               exact, so skip even the summary pass.  Under negation a
+               lower-stratum gain can retract a higher-stratum fact, so
+               run the selective pass (entries whose footprint avoids
+               the install, or is negation-free over an insert-only
+               summary, still survive). *)
+            if not t.monotone then apply_summary_locked t t.epoch summary);
         Ok ()
       | exception Incr.Session.Incompatible_query msg ->
         Error (err Protocol.Incompatible "%s" msg)
@@ -313,13 +465,15 @@ let query t q =
     match t.strategy with
     | Original | Auto ->
       (* full materialization: every predicate is in the snapshot *)
+      let pred = Atom.symbol q in
+      register_pred t pred;
       let ep, rows =
         Rwlock.with_read t.lock (fun () ->
             let snap = t.snapshot in
             ( Engine.Snapshot.epoch snap,
               project_rows snap ~query:q ~index_fields:0 ~restore:[] ))
       in
-      cache_store t key ep rows;
+      cache_store t key ~pred ~match_atom:q ~index_fields:0 ~restore:[] ep rows;
       answers_response ~t0 ~cache_hit:false ep rows
     | GMS | GSMS -> (
       (* the rewrite is purely symbolic: do it outside any lock *)
@@ -336,6 +490,8 @@ let query t q =
           (err Protocol.Parse_error "cannot rewrite %a: %s" Atom.pp q
              (Printexc.to_string e))
       | rw' -> (
+        let pred = Atom.symbol rw'.C.Rewritten.query in
+        register_pred t pred;
         let read () =
           Rwlock.with_read t.lock (fun () ->
               let snap = t.snapshot in
@@ -351,7 +507,9 @@ let query t q =
               else `Install)
         in
         let finish ep rows =
-          cache_store t key ep rows;
+          cache_store t key ~pred ~match_atom:rw'.C.Rewritten.query
+            ~index_fields:rw'.C.Rewritten.index_fields
+            ~restore:rw'.C.Rewritten.restore ep rows;
           answers_response ~t0 ~cache_hit:false ep rows
         in
         match read () with
@@ -390,6 +548,10 @@ let stats_fields t =
           },
           Hashtbl.length t.cache ))
   in
+  let hit_rate =
+    let lookups = c.cache_hits + c.cache_misses in
+    if lookups = 0 then 0. else float_of_int c.cache_hits /. float_of_int lookups
+  in
   [
     ("epoch", string_of_int ep);
     ("strategy", Engine.Json_out.str (Incr.Session.strategy_to_string strategy));
@@ -400,10 +562,31 @@ let stats_fields t =
     ("cache_entries", string_of_int entries);
     ("cache_hits", string_of_int c.cache_hits);
     ("cache_misses", string_of_int c.cache_misses);
-    ("cache_invalidations", string_of_int c.invalidations);
+    ("cache_hit_rate", Printf.sprintf "%.4f" hit_rate);
+    ("cache_invalidations",
+     string_of_int (c.partial_invalidations + c.full_invalidations));
+    ("partial_invalidations", string_of_int c.partial_invalidations);
+    ("full_invalidations", string_of_int c.full_invalidations);
+    ("cache_evictions", string_of_int c.cache_evictions);
+    ("cache_repairs", string_of_int c.cache_repairs);
     ("seed_installs", string_of_int c.seed_installs);
     ("rebuilds", string_of_int c.rebuilds);
     ("errors", string_of_int c.errors);
     ("maint_facts", string_of_int c.maint_facts);
     ("maint_firings", string_of_int c.maint_firings);
   ]
+
+(* test access: simulate the late [cache_store] of a reader that
+   computed rows against an older snapshot ([Original]-shaped entries),
+   and inspect what the cache currently holds for an atom *)
+module Internal = struct
+  let store_projection t q ~epoch ~rows =
+    cache_store t (cache_key q) ~pred:(Atom.symbol q) ~match_atom:q
+      ~index_fields:0 ~restore:[] epoch rows
+
+  let peek t q =
+    locked t.cache_m (fun () ->
+        match Hashtbl.find_opt t.cache (cache_key q) with
+        | Some e -> Some (e.e_epoch, e.e_rows)
+        | None -> None)
+end

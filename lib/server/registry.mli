@@ -13,12 +13,30 @@
     transaction.
 
     {b Cache.}  Keyed by the query atom normalized up to variable
-    renaming.  An EDB transaction clears the cache and advances the
-    validity watermark, so a concurrent reader that computed answers
-    against the pre-transaction snapshot cannot re-insert a stale entry
-    after the clear.  A seed installation keeps the cache: growing the
-    magic cone adds support for {e new} queries but cannot change the
-    answers of queries whose seeds were already installed.
+    renaming; each entry carries the answer predicate backing it.  In
+    the default [Partial] mode a committed transaction is applied to
+    the cache through its {!Incr.Maintain.summary}: entries whose
+    dependency footprint ({!Analysis.Footprint}) is disjoint from the
+    touched relations survive unchanged; entries with an intersecting,
+    negation-free footprint survive an insert-only transaction by
+    {e repair} — the maintained insertions of their answer predicate
+    are projected and appended in place; everything else is evicted.
+    In [Full] mode (the pre-partial behavior, kept for differential
+    testing) every transaction clears the whole cache.
+
+    Staleness is fenced per predicate: a reader registers its answer
+    predicate {e before} pinning a snapshot, every commit bumps the
+    validity watermark of each registered predicate whose footprint it
+    touches, and a store below the watermark is dropped — so a reader
+    that computed answers against a pre-transaction snapshot can never
+    re-insert a stale entry, while readers of untouched predicates keep
+    populating the cache across commits.
+
+    A seed installation keeps the cache when the maintained program is
+    monotone: growing the magic cone adds support for {e new} queries
+    but cannot change the answers of queries whose seeds were already
+    installed.  Under negation the installation's change summary goes
+    through the same partial pass as a transaction.
 
     {b Budgets.}  [max_facts] bounds every maintenance transaction (EDB
     ops and seed installs).  A blown budget leaves the maintained state
@@ -31,10 +49,17 @@ open Datalog
 
 type t
 
+type cache_mode = Partial | Full
+(** [Partial] (the default): summary-driven selective invalidation and
+    in-place repair.  [Full]: every transaction wipes the cache —
+    retained as the reference behavior for differential tests and
+    A/B bench runs. *)
+
 val create :
   ?strategy:Incr.Session.strategy ->
   ?options:Magic_core.Rewrite.options ->
   ?max_facts:int ->
+  ?cache_mode:cache_mode ->
   Program.t ->
   Atom.t ->
   edb:Engine.Database.t ->
@@ -62,3 +87,13 @@ val epoch : t -> int
 (** The currently published epoch (0 right after {!create}). *)
 
 val session_strategy : t -> Incr.Session.strategy
+
+(** Test access for the staleness fence: simulate the late store of a
+    reader that computed rows against an older snapshot, and inspect
+    the raw cached entry for an atom.  Not part of the serving API. *)
+module Internal : sig
+  val store_projection :
+    t -> Atom.t -> epoch:int -> rows:string list list -> unit
+
+  val peek : t -> Atom.t -> (int * string list list) option
+end

@@ -41,3 +41,28 @@ let reverse_query l = Atom.make "reverse" [ l; Term.Var "Ans" ]
 let transitive_closure = parse "tc(X,Y) :- edge(X,Y). tc(X,Y) :- edge(X,Z), tc(Z,Y)."
 
 let tc_query c = Atom.make "tc" [ c; Term.Var "Ans" ]
+
+(* two structurally identical but fully independent closures: a write
+   into [ea] can only affect [tca], so a dependency-aware answer cache
+   keeps every [tcb] entry across the churn while a wipe-everything
+   cache starts both sides cold after each commit *)
+let partitioned_tc =
+  parse
+    "tca(X,Y) :- ea(X,Y). tca(X,Y) :- ea(X,Z), tca(Z,Y).\n\
+     tcb(X,Y) :- eb(X,Y). tcb(X,Y) :- eb(X,Z), tcb(Z,Y)."
+
+let tca_query c = Atom.make "tca" [ c; Term.Var "Ans" ]
+
+let tcb_query c = Atom.make "tcb" [ c; Term.Var "Ans" ]
+
+(* hub: the query rule funnels into the closure through [spoke], so
+   the sip collection decides everything — the full sip passes the
+   spoke targets into [tc] (a small cone when the spokes point deep
+   into the data), while the bound-only sip drops the intermediate
+   binding and pays for the unrestricted closure *)
+let hub =
+  parse
+    "q(X,Y) :- spoke(X,Z), tc(Z,Y).\n\
+     tc(X,Y) :- edge(X,Y). tc(X,Y) :- edge(X,Z), tc(Z,Y)."
+
+let hub_query c = Atom.make "q" [ c; Term.Var "Ans" ]

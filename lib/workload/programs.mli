@@ -41,3 +41,24 @@ val transitive_closure : Program.t
     generators' [edge] predicate. *)
 
 val tc_query : Term.t -> Atom.t
+
+val partitioned_tc : Program.t
+(** Two structurally identical but fully independent closures, [tca]
+    over [ea] and [tcb] over [eb]: a write into [ea] can only affect
+    [tca], so a dependency-aware answer cache keeps every [tcb] entry
+    across the churn.  The serving bench's partitioned workload. *)
+
+val tca_query : Term.t -> Atom.t
+(** [tca(c, ?)] *)
+
+val tcb_query : Term.t -> Atom.t
+(** [tcb(c, ?)] *)
+
+val hub : Program.t
+(** [q(X,Y) :- spoke(X,Z), tc(Z,Y).] over the closure of [edge]: the
+    sip collection decides the cost — the full sip passes the spoke
+    targets into [tc], the bound-only sip computes the unrestricted
+    closure.  The strategy-selection bench's hub workload. *)
+
+val hub_query : Term.t -> Atom.t
+(** [q(c, ?)] *)

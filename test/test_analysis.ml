@@ -298,6 +298,65 @@ let test_lint_missing_guard () =
 (* properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* dependency footprints                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fp_preds fp =
+  List.sort_uniq String.compare
+    (List.map
+       (fun s -> s.Symbol.name)
+       (Symbol.Set.elements (A.Footprint.preds fp)))
+
+let test_footprint_negation () =
+  let p =
+    program
+      "p(X) :- q(X), not r(X).\nr(X) :- s(X).\ntop(X) :- p(X).\nother(X) :- w(X)."
+  in
+  let idx = A.Footprint.index p in
+  let fp sym arity = A.Footprint.of_pred idx (Symbol.make sym arity) in
+  (* below the negation: clean *)
+  Alcotest.(check (list string)) "r reaches s" [ "r"; "s" ] (fp_preds (fp "r" 1));
+  Alcotest.(check bool) "r is negation-free" true (A.Footprint.neg_free (fp "r" 1));
+  (* at and above the negation: the footprint still includes everything
+     read, and neg_free is off *)
+  Alcotest.(check (list string)) "p reaches through not"
+    [ "p"; "q"; "r"; "s" ]
+    (fp_preds (fp "p" 1));
+  Alcotest.(check bool) "p reads through negation" false
+    (A.Footprint.neg_free (fp "p" 1));
+  Alcotest.(check bool) "top inherits the negation" false
+    (A.Footprint.neg_free (fp "top" 1));
+  (* disjoint subprogram: untouched by p's world *)
+  Alcotest.(check (list string)) "other is independent" [ "other"; "w" ]
+    (fp_preds (fp "other" 1));
+  Alcotest.(check bool) "intersects" true
+    (A.Footprint.intersects (fp "top" 1) (Symbol.Set.singleton (Symbol.make "s" 1)));
+  Alcotest.(check bool) "disjoint" false
+    (A.Footprint.intersects (fp "other" 1) (Symbol.Set.singleton (Symbol.make "s" 1)));
+  (* an extensional (or unknown) predicate is its own footprint *)
+  Alcotest.(check (list string)) "edb singleton" [ "q" ] (fp_preds (fp "q" 1))
+
+let test_footprint_through_magic () =
+  (* footprints are computed over the program actually maintained: for
+     a magic session that is the rewritten program, where the answer
+     predicate recurses through its magic predicate *)
+  let p = program "a(X, Y) :- e(X, Y).\na(X, Y) :- e(X, Z), a(Z, Y)." in
+  let q = Atom.make "a" [ Term.Sym "n0"; Term.Var "Ans" ] in
+  let rw = C.Rewrite.rewrite C.Rewrite.GMS p q in
+  let idx = A.Footprint.index rw.C.Rewritten.program in
+  let ans = Atom.symbol rw.C.Rewritten.query in
+  let fp = A.Footprint.of_pred idx ans in
+  let names = fp_preds fp in
+  Alcotest.(check bool) "answer predicate reaches its magic" true
+    (List.exists (fun s -> String.length s >= 5 && String.sub s 0 5 = "magic") names);
+  Alcotest.(check bool) "reaches the EDB" true (List.mem "e" names);
+  Alcotest.(check bool) "magic recursion is negation-free" true
+    (A.Footprint.neg_free fp);
+  (* the memoized lookup is stable *)
+  Alcotest.(check bool) "memo returns the same footprint" true
+    (A.Footprint.of_pred idx ans == fp)
+
 let prop_accepts_valid_programs =
   qtest ~count:80 "analyzer accepts every generated valid program"
     gen_random_program
@@ -337,6 +396,9 @@ let suite =
     Alcotest.test_case "linter: bad index term" `Quick test_lint_bad_index_term;
     Alcotest.test_case "linter: unstratified" `Quick test_lint_unstratified;
     Alcotest.test_case "linter: missing guard" `Quick test_lint_missing_guard;
+    Alcotest.test_case "footprint: negation" `Quick test_footprint_negation;
+    Alcotest.test_case "footprint: recursion through magic" `Quick
+      test_footprint_through_magic;
     prop_accepts_valid_programs;
     prop_preflight_subset;
   ]

@@ -270,6 +270,72 @@ let prop_session_equals_scratch =
         txns)
 
 (* ------------------------------------------------------------------ *)
+(* change summaries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let delta_for summary pred arity =
+  List.find_opt
+    (fun (d : M.delta) -> Symbol.equal d.M.d_pred (Symbol.make pred arity))
+    summary
+
+let test_summary_counts () =
+  let facts = [ atom "e(a, b)"; atom "e(b, c)"; atom "e(a, c)" ] in
+  let m = M.create tc ~edb:(Engine.Database.of_facts facts) in
+  (* insert e(c,d): base gains 1; tc gains (a,d), (b,d), (c,d) *)
+  let _, summary = M.apply_delta m [ M.Insert (atom "e(c, d)") ] in
+  Alcotest.(check bool) "insert-only" false (M.has_deletions summary);
+  (match delta_for summary "e" 2 with
+  | Some d ->
+    Alcotest.(check int) "e inserted" 1 d.M.d_inserted;
+    Alcotest.(check int) "e deleted" 0 d.M.d_deleted;
+    Alcotest.(check (option int)) "e added materialized" (Some 1)
+      (Option.map List.length d.M.d_added)
+  | None -> Alcotest.fail "e must be in the summary");
+  (match delta_for summary "tc" 2 with
+  | Some d ->
+    Alcotest.(check int) "tc inserted" 3 d.M.d_inserted;
+    Alcotest.(check int) "tc deleted" 0 d.M.d_deleted;
+    Alcotest.(check bool) "tc added rows listed" true
+      (match d.M.d_added with
+      | Some rows ->
+        List.sort Engine.Tuple.compare rows
+        = sorted [ tup [ "a"; "d" ]; tup [ "b"; "d" ]; tup [ "c"; "d" ] ]
+      | None -> false)
+  | None -> Alcotest.fail "tc must be in the summary");
+  (* delete e(a,c): tc(a,c) survives via b — a net no-op on tc *)
+  let _, summary = M.apply_delta m [ M.Delete (atom "e(a, c)") ] in
+  Alcotest.(check bool) "has deletions" true (M.has_deletions summary);
+  (match delta_for summary "e" 2 with
+  | Some d -> Alcotest.(check int) "e deleted" 1 d.M.d_deleted
+  | None -> Alcotest.fail "e must be in the summary");
+  Alcotest.(check bool) "overdelete/rederive nets out of the summary" true
+    (match delta_for summary "tc" 2 with
+    | None -> true
+    | Some d -> d.M.d_inserted = 0 && d.M.d_deleted = 0);
+  (* a transaction already reflected in the state is a no-op summary *)
+  let _, summary = M.apply_delta m [ M.Insert (atom "e(c, d)") ] in
+  Alcotest.(check int) "no-op txn: empty summary" 0 (List.length summary);
+  Alcotest.(check bool) "touched set empty" true
+    (Symbol.Set.is_empty (M.touched summary))
+
+let test_summary_counting_stratum () =
+  let p = program "r(X) :- e(X, Y), not v(X)." in
+  let m =
+    M.create p ~edb:(Engine.Database.of_facts [ atom "e(a, b)"; atom "e(c, b)" ])
+  in
+  (* inserting v(a) deletes r(a) through the negation: the summary must
+     report the derived deletion *)
+  let _, summary = M.apply_delta m [ M.Insert (atom "v(a)") ] in
+  (match delta_for summary "r" 1 with
+  | Some d ->
+    Alcotest.(check int) "r deleted through negation" 1 d.M.d_deleted;
+    Alcotest.(check int) "r inserted" 0 d.M.d_inserted
+  | None -> Alcotest.fail "r must be in the summary");
+  match delta_for summary "v" 1 with
+  | Some d -> Alcotest.(check int) "v inserted" 1 d.M.d_inserted
+  | None -> Alcotest.fail "v must be in the summary"
+
+(* ------------------------------------------------------------------ *)
 (* update-script parsing: located diagnostics, never exceptions        *)
 (* ------------------------------------------------------------------ *)
 
@@ -307,6 +373,9 @@ let suite =
     Alcotest.test_case "dred rederives" `Quick test_dred_rederives;
     Alcotest.test_case "dred cycle" `Quick test_dred_cycle;
     Alcotest.test_case "stratified negation" `Quick test_negation_unit_order;
+    Alcotest.test_case "change summary counts" `Quick test_summary_counts;
+    Alcotest.test_case "change summary through negation" `Quick
+      test_summary_counting_stratum;
     Alcotest.test_case "session dynamic magic" `Quick test_session_dynamic_magic;
     Alcotest.test_case "session original" `Quick test_session_original;
     prop_maintained_equals_scratch;

@@ -155,17 +155,107 @@ let test_registry_cache () =
   (match Server.Registry.query r (path_q (n 0)) with
   | P.Answers { cache_hit = true; _ } -> ()
   | _ -> Alcotest.fail "cache must survive a monotone seed install");
-  (* an EDB transaction commits, invalidates, and the re-read sees it *)
+  (* an insert-only transaction: the cached entry's footprint
+     intersects the change but is negation-free, so the entry is
+     repaired in place — the re-read HITS and already carries the new
+     row *)
   (match Server.Registry.transact r [ M.Insert (edge (n 3) (n 4)) ] with
   | P.Committed { epoch = 2; ops = 1; _ } -> ()
   | _ -> Alcotest.fail "expected a commit at epoch 2");
   (match Server.Registry.query r (path_q (n 0)) with
-  | P.Answers { epoch = 2; cache_hit = false; answers; _ } ->
-    Alcotest.check rows "post-txn answers"
+  | P.Answers { epoch = 2; cache_hit = true; answers; _ } ->
+    Alcotest.check rows "repaired answers"
       [ [ "n0"; "n1" ]; [ "n0"; "n2" ]; [ "n0"; "n3" ]; [ "n0"; "n4" ] ]
       answers
-  | _ -> Alcotest.fail "transaction must invalidate the cache");
-  Alcotest.(check int) "published epoch" 2 (Server.Registry.epoch r)
+  | _ -> Alcotest.fail "insert transaction must repair the cached entry");
+  (* a deletion cannot be repaired: the entry is evicted, the re-read
+     recomputes *)
+  (match Server.Registry.transact r [ M.Delete (edge (n 3) (n 4)) ] with
+  | P.Committed { epoch = 3; ops = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected a commit at epoch 3");
+  (match Server.Registry.query r (path_q (n 0)) with
+  | P.Answers { epoch = 3; cache_hit = false; answers; _ } ->
+    Alcotest.check rows "post-delete answers"
+      [ [ "n0"; "n1" ]; [ "n0"; "n2" ]; [ "n0"; "n3" ] ]
+      answers
+  | _ -> Alcotest.fail "delete transaction must evict the cached entry");
+  Alcotest.(check int) "published epoch" 3 (Server.Registry.epoch r)
+
+let test_registry_full_mode_wipes () =
+  (* [Full] cache mode reproduces the pre-partial behavior: any
+     transaction clears everything, even when the cached query could
+     not depend on it *)
+  let p =
+    program
+      (tc_src ^ "\nreach(X, Y) :- link(X, Y).\nreach(X, Y) :- link(X, Z), reach(Z, Y).")
+  in
+  let edb = chain_edb 3 [ Atom.make "link" [ Term.Sym "u0"; Term.Sym "u1" ] ] in
+  let mk mode =
+    Server.Registry.create ~strategy:Incr.Session.Original ~cache_mode:mode p
+      (path_q (n 0)) ~edb
+  in
+  let reach_q = Atom.make "reach" [ Term.Sym "u0"; Term.Var "Ans" ] in
+  let probe r =
+    (match Server.Registry.query r reach_q with
+    | P.Answers _ -> ()
+    | _ -> Alcotest.fail "warm reach query");
+    (match Server.Registry.transact r [ M.Insert (edge (n 3) (n 4)) ] with
+    | P.Committed _ -> ()
+    | _ -> Alcotest.fail "edge txn");
+    match Server.Registry.query r reach_q with
+    | P.Answers { cache_hit; _ } -> cache_hit
+    | _ -> Alcotest.fail "re-read reach query"
+  in
+  Alcotest.(check bool) "full mode: unrelated entry wiped" false
+    (probe (mk Server.Registry.Full));
+  Alcotest.(check bool) "partial mode: unrelated entry survives" true
+    (probe (mk Server.Registry.Partial))
+
+let test_registry_stale_store_fenced () =
+  (* the install/invalidate race from the PR 8 review: a reader that
+     computed rows against an older snapshot must not overwrite the
+     repaired/invalidated entry for a touched predicate — but readers
+     of untouched predicates must keep populating the cache across
+     commits *)
+  let p =
+    program
+      (tc_src ^ "\nreach(X, Y) :- link(X, Y).\nreach(X, Y) :- link(X, Z), reach(Z, Y).")
+  in
+  let edb = chain_edb 3 [ Atom.make "link" [ Term.Sym "u0"; Term.Sym "u1" ] ] in
+  let r =
+    Server.Registry.create ~strategy:Incr.Session.Original p (path_q (n 0)) ~edb
+  in
+  let stale =
+    match Server.Registry.query r (path_q (n 0)) with
+    | P.Answers { answers; _ } -> answers
+    | _ -> Alcotest.fail "warm query"
+  in
+  (match Server.Registry.transact r [ M.Insert (edge (n 3) (n 4)) ] with
+  | P.Committed { epoch = 1; _ } -> ()
+  | _ -> Alcotest.fail "txn");
+  (* late stale write-back for the touched predicate: must be dropped *)
+  Server.Registry.Internal.store_projection r (path_q (n 0)) ~epoch:0 ~rows:stale;
+  (match Server.Registry.Internal.peek r (path_q (n 0)) with
+  | Some (ep, rows_now) ->
+    Alcotest.(check int) "entry kept at the commit epoch" 1 ep;
+    Alcotest.(check bool) "stale rows rejected" true (rows_now <> stale)
+  | None -> Alcotest.fail "repaired entry must still be cached");
+  (match Server.Registry.query r (path_q (n 0)) with
+  | P.Answers { cache_hit = true; answers; _ } ->
+    Alcotest.check rows "served rows include the new edge"
+      [ [ "n0"; "n1" ]; [ "n0"; "n2" ]; [ "n0"; "n3" ]; [ "n0"; "n4" ] ]
+      answers
+  | _ -> Alcotest.fail "read after stale store");
+  (* late write-back for an untouched predicate: epoch 0 rows are still
+     exact, so the store must be accepted *)
+  let reach_q = Atom.make "reach" [ Term.Sym "u0"; Term.Var "Ans" ] in
+  Server.Registry.Internal.store_projection r reach_q ~epoch:0
+    ~rows:[ [ "u0"; "u1" ] ];
+  match Server.Registry.query r reach_q with
+  | P.Answers { cache_hit = true; answers; _ } ->
+    Alcotest.check rows "untouched-predicate store accepted" [ [ "u0"; "u1" ] ]
+      answers
+  | _ -> Alcotest.fail "untouched-predicate entry must hit"
 
 let test_registry_rejects_derived_op () =
   let p = program tc_src in
@@ -314,6 +404,79 @@ let prop_serve_consistency =
           | _ -> false)
         steps)
 
+(* ------------------------------------------------------------------ *)
+(* property: partial invalidation/repair is answer-invisible           *)
+(* ------------------------------------------------------------------ *)
+
+let tc_neg_src =
+  tc_src ^ "\nblocked(X, Y) :- edge(X, Y), not bad(X).\nbad(X) :- poison(X)."
+
+let gen_mixed_op =
+  let open QCheck2.Gen in
+  let* which = int_bound 3 in
+  let* a = int_bound 6 in
+  let* b = int_bound 6 in
+  let at = if which = 3 then Atom.make "poison" [ n a ] else edge (n a) (n b) in
+  map (fun del -> if del then M.Delete at else M.Insert at) bool
+
+let gen_step =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun op -> `Txn op) gen_mixed_op;
+      map (fun k -> `Query (`Path, k)) (int_bound 6);
+      map (fun k -> `Query (`Blocked, k)) (int_bound 6);
+    ]
+
+(* a registry with partial invalidation and repair serves byte-identical
+   answers to one that wipes its cache on every commit, across random
+   interleavings of transactions, queries (drawn twice, so hit paths are
+   compared too) and — under GMS — dynamic seed installs *)
+let prop_partial_equals_full =
+  qtest ~count:30 "serve: partial cache = full cache (differential)"
+    QCheck2.Gen.(pair bool (list_size (int_range 2 12) gen_step))
+    (fun (use_gms, steps) ->
+      let strategy = if use_gms then Incr.Session.GMS else Incr.Session.Original in
+      (* negation only under [Original]: it keeps the magic cone of the
+         GMS variant clean while exercising non-neg-free footprints *)
+      let src = if use_gms then tc_src else tc_neg_src in
+      let p = program src in
+      let base = List.init 4 (fun i -> edge (n i) (n (i + 1))) in
+      let mk mode =
+        Server.Registry.create ~strategy ~cache_mode:mode p (path_q (n 0))
+          ~edb:(Engine.Database.of_facts base)
+      in
+      let rp = mk Server.Registry.Partial in
+      let rf = mk Server.Registry.Full in
+      let answers_of = function
+        | P.Answers { answers; _ } -> Some answers
+        | _ -> None
+      in
+      List.for_all
+        (fun step ->
+          match step with
+          | `Txn op -> (
+            match
+              (Server.Registry.transact rp [ op ], Server.Registry.transact rf [ op ])
+            with
+            | P.Committed { epoch = e1; _ }, P.Committed { epoch = e2; _ } ->
+              e1 = e2
+            | P.Error _, P.Error _ -> true
+            | _ -> false)
+          | `Query (kind, k) ->
+            let qa =
+              match kind with
+              | `Path -> path_q (n k)
+              | `Blocked ->
+                if use_gms then path_q (n k)
+                else Atom.make "blocked" [ n k; Term.Var "Ans" ]
+            in
+            answers_of (Server.Registry.query rp qa)
+            = answers_of (Server.Registry.query rf qa)
+            && answers_of (Server.Registry.query rp qa)
+               = answers_of (Server.Registry.query rf qa))
+        steps)
+
 let suite =
   [
     Alcotest.test_case "protocol: request roundtrip" `Quick test_request_roundtrip;
@@ -325,6 +488,10 @@ let suite =
     Alcotest.test_case "snapshot: stable under insert" `Quick
       test_snapshot_stable_under_insert;
     Alcotest.test_case "registry: cache discipline" `Quick test_registry_cache;
+    Alcotest.test_case "registry: full mode wipes, partial retains" `Quick
+      test_registry_full_mode_wipes;
+    Alcotest.test_case "registry: stale store fenced per predicate" `Quick
+      test_registry_stale_store_fenced;
     Alcotest.test_case "registry: derived op refused" `Quick
       test_registry_rejects_derived_op;
     Alcotest.test_case "registry: budget recovery" `Quick
@@ -332,4 +499,5 @@ let suite =
     Alcotest.test_case "daemon: socket roundtrip" `Quick
       test_daemon_socket_roundtrip;
     prop_serve_consistency;
+    prop_partial_equals_full;
   ]
