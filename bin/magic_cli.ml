@@ -496,17 +496,55 @@ let session_strategy_conv =
   in
   Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
 
+let db_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ] ~docv:"DIR"
+        ~doc:"Durable session: open (or create) a binary snapshot + \
+              write-ahead log store in DIR.  Reopening loads the snapshot \
+              and replays the log suffix instead of re-evaluating; every \
+              committed transaction is journaled (fsync) before it is \
+              acknowledged.")
+
 let session_cmd =
-  let run file script_path (strategy_name, strategy) max_facts json =
+  let run file script_path (strategy_name, strategy) max_facts json db =
     let program, query, edb = load file in
     let items = load_script script_path in
+    let store =
+      match db with
+      | None -> None
+      | Some dir -> (
+        match
+          Persist.Store.open_or_create ~strategy ~max_facts ~dir program query ~edb
+        with
+        | st -> Some st
+        | exception e -> (
+          match Persist.Codec.explain e with
+          | Some msg ->
+            Fmt.epr "magic session: cannot open db %s: %s@." dir msg;
+            exit 1
+          | None -> raise e))
+    in
     (* the EDB as updated so far, kept alongside the session so that an
        incompatible query (different binding pattern) can start a fresh
-       session from the current state *)
+       session from the current state (the store tracks it on disk) *)
     let shadow = Engine.Database.copy edb in
     let workload = Filename.basename script_path in
     let rows = ref [] in
-    let session = ref (Incr.Session.create ~strategy ~max_facts program query ~edb) in
+    let session =
+      ref
+        (match store with
+        | Some st -> Persist.Store.session st
+        | None -> Incr.Session.create ~strategy ~max_facts program query ~edb)
+    in
+    (match store with
+    | Some st when not json ->
+      if Persist.Store.restored st then
+        Fmt.pr "%% db %s reopened: %d wal records replayed@."
+          (Option.get db) (Persist.Store.replayed st)
+      else Fmt.pr "%% db %s created@." (Option.get db)
+    | _ -> ());
     if (not json) && strategy = Incr.Session.Auto then
       Fmt.pr "%% session strategy=%s (auto)@."
         (Incr.Session.strategy_to_string (Incr.Session.strategy !session));
@@ -521,7 +559,12 @@ let session_cmd =
             | Incr.Maintain.Insert a -> ignore (Engine.Database.add_fact shadow a)
             | Incr.Maintain.Delete a -> ignore (Engine.Database.remove_fact shadow a))
           ops;
-        let stats, time_s = timed (fun () -> Incr.Session.update ~max_facts !session ops) in
+        let stats, time_s =
+          timed (fun () ->
+              match store with
+              | Some st -> Persist.Store.update st ops
+              | None -> Incr.Session.update ~max_facts !session ops)
+        in
         if json then
           rows :=
             Engine.Json_out.result_row ~workload
@@ -534,12 +577,23 @@ let session_cmd =
       flush ();
       let (answers, stats), time_s =
         timed (fun () ->
-            try Incr.Session.query ~max_facts !session q
-            with Incr.Session.Incompatible_query _ ->
+            let incompatible () =
               (* the adornment differs: rebuild the session for the new
                  binding pattern over the current EDB state *)
-              session := Incr.Session.create ~strategy ~max_facts program q ~edb:shadow;
-              (Incr.Session.answers !session, Engine.Stats.create ()))
+              match store with
+              | Some st ->
+                session := Persist.Store.reset st q;
+                (Incr.Session.answers !session, Engine.Stats.create ())
+              | None ->
+                session :=
+                  Incr.Session.create ~strategy ~max_facts program q ~edb:shadow;
+                (Incr.Session.answers !session, Engine.Stats.create ())
+            in
+            try
+              match store with
+              | Some st -> Persist.Store.query st q
+              | None -> Incr.Session.query ~max_facts !session q
+            with Incr.Session.Incompatible_query _ -> incompatible ())
       in
       if json then
         rows :=
@@ -561,7 +615,10 @@ let session_cmd =
            | Incr.Script.Retract a -> pending := Incr.Maintain.Delete a :: !pending
            | Incr.Script.Query q -> run_query q)
          items;
-       flush ()
+       flush ();
+       (* final checkpoint; on the error path below the disk already
+          holds every acknowledged commit (journal-after-apply) *)
+       Option.iter Persist.Store.close store
      with Incr.Maintain.Budget_exhausted ->
        Fmt.epr "magic session: fact budget exhausted (see --max-facts)@.";
        exit 1);
@@ -590,9 +647,12 @@ let session_cmd =
              update script against it: transactions repair the derived relations \
              incrementally, and compatible new queries only install new seed facts.")
     (T.app
-       (T.app (T.app (T.app (T.app (T.const run) file_arg) script_arg) strategy_arg)
-          max_facts_arg)
-       json_arg)
+       (T.app
+          (T.app
+             (T.app (T.app (T.app (T.const run) file_arg) script_arg) strategy_arg)
+             max_facts_arg)
+          json_arg)
+       db_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -611,7 +671,7 @@ let port_arg =
               ephemeral port when serving.")
 
 let serve_cmd =
-  let run file (_, strategy) max_facts socket port jobs =
+  let run file (_, strategy) max_facts socket port jobs db =
     let listen =
       match (socket, port) with
       | Some path, None -> Server.Daemon.Unix_path path
@@ -625,17 +685,28 @@ let serve_cmd =
     in
     let program, query, edb = load file in
     let registry =
-      Server.Registry.create ~strategy ~max_facts program query ~edb
+      match Server.Registry.create ~strategy ~max_facts ?db program query ~edb with
+      | r -> r
+      | exception e -> (
+        match Persist.Codec.explain e with
+        | Some msg ->
+          Fmt.epr "magic serve: cannot open db %s: %s@."
+            (Option.value db ~default:"") msg;
+          exit 1
+        | None -> raise e)
     in
-    Fmt.pr "%% serve strategy=%s jobs=%d@."
+    Fmt.pr "%% serve strategy=%s jobs=%d%s@."
       (Incr.Session.strategy_to_string (Server.Registry.session_strategy registry))
-      jobs;
+      jobs
+      (match db with Some d -> " db=" ^ d | None -> "");
     Server.Daemon.run ~jobs
       ~on_ready:(fun addr ->
         match addr with
         | Unix.ADDR_UNIX p -> Fmt.pr "%% listening on %s@." p
         | Unix.ADDR_INET (_, p) -> Fmt.pr "%% listening on 127.0.0.1:%d@." p)
-      listen registry
+      listen registry;
+    (* the accept loop has exited (protocol shutdown): flush the store *)
+    Server.Registry.close registry
   in
   let strategy_arg =
     Arg.(
@@ -663,11 +734,13 @@ let serve_cmd =
     (T.app
        (T.app
           (T.app
-             (T.app (T.app (T.app (T.const run) file_arg) strategy_arg)
-                max_facts_arg)
-             socket_arg)
-          port_arg)
-       jobs_arg)
+             (T.app
+                (T.app (T.app (T.app (T.const run) file_arg) strategy_arg)
+                   max_facts_arg)
+                socket_arg)
+             port_arg)
+          jobs_arg)
+       db_arg)
 
 let client_cmd =
   let run socket port script_path stats shutdown =

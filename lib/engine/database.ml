@@ -14,6 +14,13 @@ let relation db sym =
 
 let find db sym = Symbol.Tbl.find_opt db sym
 
+let install db sym r =
+  if Relation.arity r <> sym.Symbol.arity then
+    invalid_arg
+      (Fmt.str "Database.install: relation arity %d does not match %a/%d"
+         (Relation.arity r) Symbol.pp sym sym.Symbol.arity);
+  Symbol.Tbl.replace db sym r
+
 let add_tuple db sym t = Relation.add (relation db sym) t
 
 let add_fact db a =

@@ -13,6 +13,11 @@ val relation : t -> Symbol.t -> Relation.t
 
 val find : t -> Symbol.t -> Relation.t option
 
+val install : t -> Symbol.t -> Relation.t -> unit
+(** Bind a symbol to a relation built elsewhere (the snapshot loader's
+    {!Relation.of_log} output), replacing any existing binding.
+    @raise Invalid_argument on an arity mismatch. *)
+
 val add_fact : t -> Atom.t -> bool
 (** Insert a ground atom; returns [true] iff new.
     @raise Invalid_argument on a non-ground atom. *)

@@ -201,6 +201,40 @@ let copy r =
   iter (fun t -> ignore (add r' t)) r;
   r'
 
+(* Exact-fidelity export for the snapshot writer: the full log including
+   tombstoned slots, so stamps survive a save/load round trip.  Replaying
+   add/remove would not do — a dead slot's tuple may coincide with a
+   later live slot, and stamp positions feed the maintenance layer's
+   watermark arithmetic. *)
+let export_log r = (Array.sub r.log 0 r.len, Bytes.sub r.dead 0 r.len)
+
+let of_log ~arity ~log ~dead =
+  let len = Array.length log in
+  if Bytes.length dead <> len then
+    invalid_arg "Relation.of_log: dead bitset length mismatch";
+  (* pre-size the stamp table for the known population: a bulk load
+     should pay one allocation, not a cascade of doubling rehashes *)
+  let r =
+    {
+      arity;
+      stamps = Ttbl.create ~initial:(4 * max 1 len) (-1);
+      log = Array.copy log;
+      dead = Bytes.copy dead;
+      len;
+      indexes = [];
+    }
+  in
+  Array.iteri
+    (fun stamp t ->
+      if Array.length t <> arity then
+        invalid_arg
+          (Fmt.str "Relation.of_log: tuple %a has arity %d, expected %d" Tuple.pp t
+             (Array.length t) arity);
+      if Bytes.get dead stamp = '\000' && not (Ttbl.add_if_absent r.stamps t stamp) then
+        invalid_arg (Fmt.str "Relation.of_log: duplicate live tuple %a" Tuple.pp t))
+    log;
+  r
+
 let clear r =
   Ttbl.reset r.stamps;
   r.log <- [||];

@@ -85,5 +85,17 @@ val copy : t -> t
 (** A fresh relation with the same tuples, re-stamped in insertion order,
     and no indexes. *)
 
+val export_log : t -> Tuple.t array * Bytes.t
+(** The full insertion log and its dead-slot bitset, tombstones included:
+    [log.(s)] is the tuple stamped [s] and [dead.(s) = '\001'] iff that
+    slot was removed.  Exact fidelity for the snapshot writer — stamps
+    survive a save/load round trip, unlike a {!copy}-style re-add. *)
+
+val of_log : arity:int -> log:Tuple.t array -> dead:Bytes.t -> t
+(** Rebuild a relation from an {!export_log} pair: the stamp table is
+    reconstructed from the live slots and no indexes exist yet (they are
+    rebuilt lazily on first probe).  @raise Invalid_argument on a length
+    or arity mismatch, or if two live slots hold the same tuple. *)
+
 val clear : t -> unit
 val pp : t Fmt.t

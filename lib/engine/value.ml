@@ -52,20 +52,29 @@ end
 
 module Ntbl = Hashtbl.Make (Node)
 
-(* id -> canonical term, grown on demand; [count] is the pool size *)
+(* id -> canonical term, grown on demand; [count] is the pool size.
+   [nodes] mirrors [terms] with the structural node of each id (shared
+   with the intern-table key), so the pool can be walked in dense-id
+   order without re-deriving child ids — the snapshot writer's linear
+   scan ({!view}). *)
 let terms : Term.t array ref = ref (Array.make 1024 (Term.Int 0))
+let nodes : node array ref = ref (Array.make 1024 (Nint 0))
 let count = ref 0
 let ids : int Ntbl.t = Ntbl.create 4096
 
 let pool_size () = !count
 
-let push term =
+let push term node =
   if !count = Array.length !terms then begin
     let bigger = Array.make (2 * !count) (Term.Int 0) in
     Array.blit !terms 0 bigger 0 !count;
-    terms := bigger
+    terms := bigger;
+    let bigger_nodes = Array.make (2 * !count) (Nint 0) in
+    Array.blit !nodes 0 bigger_nodes 0 !count;
+    nodes := bigger_nodes
   end;
   !terms.(!count) <- term;
+  !nodes.(!count) <- node;
   incr count
 
 let alloc node canonical =
@@ -73,7 +82,7 @@ let alloc node canonical =
   | Some id -> id
   | None ->
     let id = !count in
-    push canonical;
+    push canonical node;
     Ntbl.add ids node id;
     id
 
@@ -95,7 +104,7 @@ let rec intern t =
         else Term.App (f, canon_args)
       in
       let id = !count in
-      push canonical;
+      push canonical node;
       Ntbl.add ids node id;
       id)
   | Term.Var x -> invalid_arg ("Value.intern: non-ground term " ^ x)
@@ -132,6 +141,37 @@ let to_int id = id
 let equal : t -> t -> bool = Int.equal
 let hash (id : t) = id
 let compare : t -> t -> int = Int.compare
+
+(* Structural export for serialization.  Children of an [App] were
+   interned before it, so walking ids [0 .. pool_size () - 1] and
+   writing each view yields a stream where every child reference points
+   backwards — the loader's single-pass remap invariant. *)
+let view id =
+  if id < 0 || id >= !count then
+    invalid_arg (Fmt.str "Value.view: unknown id %d" id);
+  match !nodes.(id) with
+  | Nint i -> `Int i
+  | Nsym s -> `Sym s
+  | Napp (f, kids) -> `App (f, Array.copy kids)
+
+(* Intern an application from already-interned children without
+   re-walking their term trees: the snapshot loader's O(1)-per-node
+   reconstruction. *)
+let app f kids =
+  Array.iter
+    (fun k ->
+      if k < 0 || k >= !count then
+        invalid_arg (Fmt.str "Value.app: unknown child id %d" k))
+    kids;
+  let node = Napp (f, Array.copy kids) in
+  match Ntbl.find_opt ids node with
+  | Some id -> id
+  | None ->
+    let canonical = Term.App (f, Array.to_list (Array.map (fun k -> !terms.(k)) kids)) in
+    let id = !count in
+    push canonical node;
+    Ntbl.add ids node id;
+    id
 
 (* Order by the denoted term, not the (insertion-ordered) id: answer
    lists sort the same way they did with structural tuples. *)

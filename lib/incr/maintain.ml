@@ -719,6 +719,24 @@ let apply ?max_facts t ops = fst (apply_delta ?max_facts t ops)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Unit compilation is shared between {!create} (which materializes the
+   fixpoint first) and {!of_image} (which restores a persisted one). *)
+let compile_units program =
+  let rules = Program.rules program in
+  List.map
+    (fun syms ->
+      let symset = Symbol.Set.of_list syms in
+      let own =
+        List.filter (fun r -> Symbol.Set.mem (Atom.symbol r.Rule.head) symset) rules
+      in
+      let kind =
+        match syms with
+        | [ s ] when not (Program.is_recursive program s) -> Counting
+        | _ -> DRed
+      in
+      { syms; kind; rules = List.map compile_mrule own })
+    (Program.sccs program)
+
 let create ?max_facts program ~edb =
   (match Program.stratify program with
   | Error e -> invalid_arg ("Incr.Maintain.create: " ^ e)
@@ -727,22 +745,7 @@ let create ?max_facts program ~edb =
   if out.Engine.Eval.diverged then raise Budget_exhausted;
   let db = out.Engine.Eval.db in
   let derived = Program.derived program in
-  let rules = Program.rules program in
-  let units =
-    List.map
-      (fun syms ->
-        let symset = Symbol.Set.of_list syms in
-        let own =
-          List.filter (fun r -> Symbol.Set.mem (Atom.symbol r.Rule.head) symset) rules
-        in
-        let kind =
-          match syms with
-          | [ s ] when not (Program.is_recursive program s) -> Counting
-          | _ -> DRed
-        in
-        { syms; kind; rules = List.map compile_mrule own })
-      (Program.sccs program)
-  in
+  let units = compile_units program in
   let external_ = Symbol.Tbl.create 8 in
   Symbol.Set.iter
     (fun sym ->
@@ -775,6 +778,68 @@ let create ?max_facts program ~edb =
       | _ -> ())
     units;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Persistence images                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type image = {
+  im_db : Db.t;
+  im_counts : (Symbol.t * (Tup.t * int) list) list;
+  im_external : (Symbol.t * Tup.t list) list;
+}
+
+(* Deterministic ordering so the same state serializes to the same
+   bytes: predicates by symbol, entries structurally. *)
+let image t =
+  let by_sym compare_entry l =
+    List.sort
+      (fun (a, _) (b, _) -> Symbol.compare a b)
+      (List.map (fun (sym, entries) -> (sym, List.sort compare_entry entries)) l)
+  in
+  let counts =
+    Symbol.Tbl.fold
+      (fun sym tbl acc ->
+        let entries = Tup.Tbl.fold (fun tu n acc -> (tu, !n) :: acc) tbl [] in
+        if entries = [] then acc else (sym, entries) :: acc)
+      t.counts []
+    |> by_sym (fun (a, _) (b, _) -> Tup.compare a b)
+  in
+  let external_ =
+    Symbol.Tbl.fold
+      (fun sym r acc ->
+        match Rel.to_list r with [] -> acc | tus -> (sym, tus) :: acc)
+      t.external_ []
+    |> by_sym Tup.compare
+  in
+  { im_db = t.db; im_counts = counts; im_external = external_ }
+
+let of_image program im =
+  (match Program.stratify program with
+  | Error e -> invalid_arg ("Incr.Maintain.of_image: " ^ e)
+  | Ok _ -> ());
+  let counts = Symbol.Tbl.create 8 in
+  List.iter
+    (fun (sym, entries) ->
+      let tbl = Tup.Tbl.create (max 16 (List.length entries)) in
+      List.iter (fun (tu, n) -> Tup.Tbl.replace tbl tu (ref n)) entries;
+      Symbol.Tbl.add counts sym tbl)
+    im.im_counts;
+  let external_ = Symbol.Tbl.create 8 in
+  List.iter
+    (fun (sym, tus) ->
+      let r = Rel.create sym.Symbol.arity in
+      List.iter (fun tu -> ignore (Rel.add r tu)) tus;
+      Symbol.Tbl.add external_ sym r)
+    im.im_external;
+  {
+    program;
+    db = im.im_db;
+    derived = Program.derived program;
+    units = compile_units program;
+    counts;
+    external_;
+  }
 
 let answers t query =
   Engine.Eval.answers

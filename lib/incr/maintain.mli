@@ -79,6 +79,31 @@ val db : t -> Engine.Database.t
 (** The maintained database (EDB and all derived relations).  Treat as
     read-only: external mutation invalidates the maintained state. *)
 
+type image = {
+  im_db : Engine.Database.t;
+      (** the maintained database; shared, not copied — the snapshot
+          writer reads it under the caller's lock *)
+  im_counts : (Symbol.t * (Engine.Tuple.t * int) list) list;
+      (** support counts of the counting-maintained predicates, sorted
+          by predicate then tuple *)
+  im_external : (Symbol.t * Engine.Tuple.t list) list;
+      (** externally asserted tuples (magic seeds), sorted likewise *)
+}
+(** Everything of the maintained state that is not recomputable in O(1)
+    from the program: the serialization boundary for {!module:Persist}. *)
+
+val image : t -> image
+(** Export the maintained state.  Deterministic ordering: the same state
+    always yields the same image, so snapshots are byte-stable. *)
+
+val of_image : Program.t -> image -> t
+(** Rebuild a maintained state from an {!image} without re-evaluating:
+    units are recompiled from the program (cheap, symbolic) and the
+    database, counts and external support are adopted as-is — the image
+    must come from {!image} of a state maintained for the same program.
+    Takes ownership of [im_db].
+    @raise Invalid_argument if the program is not stratifiable. *)
+
 val answers : t -> Atom.t -> Engine.Tuple.t list
 (** The current tuples matching a query atom, sorted. *)
 

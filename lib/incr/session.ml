@@ -123,6 +123,44 @@ let query ?max_facts t q =
   let answers, stats, _summary = query_delta ?max_facts t q in
   (answers, stats)
 
+(* ------------------------------------------------------------------ *)
+(* Persistence images                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type image = {
+  i_strategy : strategy;  (* resolved: never Auto *)
+  i_query : Atom.t;
+  i_maintain : Maintain.image;
+}
+
+let image t = { i_strategy = t.strategy; i_query = t.query; i_maintain = Maintain.image t.maintain }
+
+let of_image ?(options = C.Rewrite.default_options) program im =
+  match im.i_strategy with
+  | Auto -> invalid_arg "Session.of_image: Auto is resolved at create time"
+  | Original ->
+    {
+      strategy = Original;
+      options;
+      program;
+      maintain = Maintain.of_image program im.i_maintain;
+      rw = None;
+      query = im.i_query;
+    }
+  | (GMS | GSMS) as strategy ->
+    (* the rewrite is deterministic in (program, query, options), so it
+       is recomputed symbolically instead of being serialized; the
+       maintained image is over the rewritten program *)
+    let rw = C.Rewrite.rewrite ~options (rewriting strategy) program im.i_query in
+    {
+      strategy;
+      options;
+      program;
+      maintain = Maintain.of_image rw.C.Rewritten.program im.i_maintain;
+      rw = Some rw;
+      query = im.i_query;
+    }
+
 let db t = Maintain.db t.maintain
 let current_query t = t.query
 let strategy t = t.strategy

@@ -86,3 +86,24 @@ val rewritten : t -> C.Rewritten.t option
 val options : t -> C.Rewrite.options
 val program : t -> Program.t
 (** The original, un-rewritten program the session was created over. *)
+
+type image = {
+  i_strategy : strategy;  (** resolved at create time; never [Auto] *)
+  i_query : Atom.t;  (** the current query *)
+  i_maintain : Maintain.image;
+      (** the maintained state — over the {e rewritten} program under a
+          magic strategy *)
+}
+(** The serializable state of a session: what {!module:Persist} writes
+    to a snapshot.  The rewritten program itself is not part of the
+    image — it is deterministic in (program, query, options) and is
+    recomputed symbolically on restore. *)
+
+val image : t -> image
+
+val of_image : ?options:C.Rewrite.options -> Program.t -> image -> t
+(** Rebuild a session from an {!image} of a session over the same
+    program (and the same [options] — they shape the rewrite and are not
+    serialized).  No evaluation runs: cost is unit compilation plus, for
+    magic strategies, one symbolic rewrite.
+    @raise Invalid_argument if [i_strategy] is [Auto]. *)

@@ -1,0 +1,74 @@
+exception
+  Corrupt of { file : string; section : string; offset : int; message : string }
+
+let corrupt ~file ~section ~offset message =
+  raise (Corrupt { file; section; offset; message })
+
+let explain = function
+  | Corrupt { file; section; offset; message } ->
+    Some (Fmt.str "%s: %s at byte %d: %s" file section offset message)
+  | _ -> None
+
+(* ---- writing ---- *)
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg (Fmt.str "Codec.u32: %d out of range" v);
+  Buffer.add_int32_le b (Int32.of_int v)
+
+let i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let str b s = u32 b (String.length s); Buffer.add_string b s
+
+(* ---- reading ---- *)
+
+type reader = {
+  data : string;
+  file : string;
+  section : string;
+  base : int;  (* file offset of data.[0] *)
+  mutable cur : int;
+}
+
+let reader ~file ~section ?(base = 0) data = { data; file; section; base; cur = 0 }
+let pos r = r.base + r.cur
+let at_end r = r.cur >= String.length r.data
+
+let fail r message = corrupt ~file:r.file ~section:r.section ~offset:(pos r) message
+
+let need r n =
+  if r.cur + n > String.length r.data then
+    fail r (Fmt.str "truncated: need %d more bytes, have %d" n (String.length r.data - r.cur))
+
+let ru8 r =
+  need r 1;
+  let v = Char.code r.data.[r.cur] in
+  r.cur <- r.cur + 1;
+  v
+
+let ru32 r =
+  need r 4;
+  let b i = Char.code r.data.[r.cur + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  r.cur <- r.cur + 4;
+  v
+
+let ri64 r =
+  need r 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.data.[r.cur + i]))
+  done;
+  r.cur <- r.cur + 8;
+  Int64.to_int !v
+
+let rstr r =
+  let n = ru32 r in
+  need r n;
+  let s = String.sub r.data r.cur n in
+  r.cur <- r.cur + n;
+  s
+
+let expect_end r =
+  if not (at_end r) then
+    fail r (Fmt.str "trailing garbage: %d unconsumed bytes" (String.length r.data - r.cur))

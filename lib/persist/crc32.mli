@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]) — the
+    checksum framing every snapshot section and WAL record.  Table-driven
+    and dependency-free; [digest "123456789" = 0xCBF43926l] per the
+    standard check value. *)
+
+val digest : string -> int32
+(** CRC-32 of a whole string. *)
+
+val digest_sub : string -> pos:int -> len:int -> int32
+(** CRC-32 of a substring, without copying it. *)

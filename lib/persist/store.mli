@@ -1,0 +1,105 @@
+(** A durable session: a directory holding one binary snapshot plus a
+    write-ahead log, kept in lockstep with a live {!Incr.Session}.
+
+    Commit protocol — journal-after-apply: a transaction is applied to
+    the in-memory session first; only if it succeeds is a WAL record
+    appended and [fsync]ed, and only then is the commit acknowledged.  A
+    failed transaction (budget blowout, bad op) writes nothing, so the
+    on-disk state is always the last {e successful} commit and recovery
+    never needs rollback.
+
+    Checkpointing rewrites the snapshot (atomically: tmp + fsync +
+    rename) and starts a fresh WAL; it runs every [checkpoint_every]
+    journaled records and at {!close}.  Reopening costs O(snapshot size)
+    plus a replay of the WAL suffix — no re-evaluation.
+
+    The store serializes with the default rewrite options; sessions
+    created with custom {!Magic_core.Rewrite.options} are not supported
+    (options shape the rewrite and are not persisted). *)
+
+open Datalog
+
+type t
+
+val snapshot_path : string -> string
+(** [dir/snapshot.magic] *)
+
+val wal_path : string -> string
+(** [dir/wal.magic] *)
+
+val program_digest : Program.t -> string
+(** Hex MD5 of the program's printed form; stored in snapshot META and
+    checked on every reopen. *)
+
+val open_or_create :
+  ?strategy:Incr.Session.strategy ->
+  ?max_facts:int ->
+  ?checkpoint_every:int ->
+  dir:string ->
+  Program.t ->
+  Atom.t ->
+  edb:Engine.Database.t ->
+  t
+(** Reopen the store in [dir] if a snapshot exists — [edb] is then
+    ignored; the disk state wins — else create it: materialize a fresh
+    session over [edb], write the initial snapshot and an empty WAL.
+    On reopen the snapshot's program digest must match [program], and
+    [strategy] (unless [Auto]) must match the stored one.  A torn WAL
+    tail is truncated; intact records are replayed onto the loaded
+    snapshot.  [checkpoint_every] (default 64, [0] = never) bounds the
+    WAL between checkpoints.
+    @raise Codec.Corrupt on any corruption or mismatch diagnostic. *)
+
+val session : t -> Incr.Session.t
+(** The live session.  Callers may drive it directly — e.g. under the
+    serving layer's write lock — provided every successful transaction
+    is then journaled with {!journal_txn}/{!journal_install}. *)
+
+val restored : t -> bool
+(** [true] iff the store was reopened from disk (vs freshly created). *)
+
+val replayed : t -> int
+(** WAL records replayed over the lifetime of this handle. *)
+
+val wal_records : t -> int
+(** Records journaled through this handle since it was opened. *)
+
+val checkpoints : t -> int
+(** Checkpoints completed by this handle (the initial snapshot of a
+    fresh store counts as one). *)
+
+val journal_txn : t -> Incr.Maintain.op list -> unit
+(** Append a committed transaction's ops (no-op on an empty list), then
+    checkpoint if the interval elapsed.  Call only after the session
+    applied the ops successfully. *)
+
+val journal_install : t -> Atom.t -> unit
+(** Append a seed-install record for a query whose install summary was
+    non-empty.  Replay re-runs the query; installs are idempotent. *)
+
+val checkpoint : t -> unit
+(** Rewrite the snapshot from the live session and truncate the WAL. *)
+
+val update : t -> Incr.Maintain.op list -> Engine.Stats.t
+(** Apply + journal one transaction (journal-after-apply). *)
+
+val update_delta : t -> Incr.Maintain.op list -> Engine.Stats.t * Incr.Maintain.summary
+
+val query : t -> Atom.t -> Engine.Tuple.t list * Engine.Stats.t
+(** Query the session, journaling the seed install if it changed state.
+    @raise Incr.Session.Incompatible_query as the session does; use
+    {!reset} to adopt the new query. *)
+
+val reset : t -> Atom.t -> Incr.Session.t
+(** Rebuild for a query the current session cannot serve: re-creates
+    the session over the current base EDB (externally asserted facts of
+    the original program's derived predicates are carried; magic seeds
+    are not — the new query plants its own) and checkpoints
+    immediately. *)
+
+val recover : t -> Incr.Session.t
+(** Discard the in-memory session and reload the last durable state
+    (snapshot + WAL replay) — the serving layer's budget-blowout path. *)
+
+val close : t -> unit
+(** Final checkpoint, then release file handles. *)

@@ -1,0 +1,52 @@
+(** The write-ahead log: one CRC-framed record per committed
+    {!Incr.Session} transaction or installed seed family, appended and
+    [fsync]ed before the commit is acknowledged.
+
+    Layout:
+    {v
+      "MAGICWAL"  u32 version
+      records, each:  u32 length  u32 crc32(payload)  payload
+      payload:  u8 kind (0 = Txn, 1 = Install)
+                Txn:      u32 n, then n × (u8 insert?  str atom-text)
+                Install:  str atom-text
+    v}
+
+    Replay policy — the crash-semantics contract the fault-injection
+    suite pins down: a record that fails at the {e tail} of the file
+    (short header, short payload, or checksum mismatch on the final
+    record) is a torn write of a commit that was never acknowledged and
+    is {e dropped}; a checksum failure with further bytes {e behind} it
+    is real corruption and replay refuses with a located diagnostic. *)
+
+open Datalog
+
+val version : int
+
+type record =
+  | Txn of Incr.Maintain.op list
+  | Install of Atom.t  (** seeds of this query atom were installed *)
+
+type tail =
+  | Clean
+  | Torn of int
+      (** a torn final record started at this byte offset; truncate
+          there before appending *)
+
+val replay : string -> record list * tail
+(** Every intact record in order, plus the tail state.
+    @raise Codec.Corrupt on header corruption, a mid-file checksum
+    failure, or a malformed payload that passed its checksum. *)
+
+type writer
+
+val create : ?sink_of:(string -> Io.sink) -> string -> writer
+(** Truncate (or create) the log and write the header, synced. *)
+
+val open_append : string -> writer
+(** Open an existing log for appending; validates the header.  The
+    caller must have truncated any torn tail first (see {!replay}). *)
+
+val append : writer -> record -> unit
+(** Frame, write, [fsync] — the record is durable when this returns. *)
+
+val close : writer -> unit

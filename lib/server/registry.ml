@@ -37,6 +37,11 @@ type entry = {
 type t = {
   lock : Rwlock.t;
   mutable session : Incr.Session.t;  (* replaced only under the write lock *)
+  store : Persist.Store.t option;
+      (* durable backing; journaled under the write lock after every
+         committed transaction, checkpointed on its own cadence and at
+         [close].  When present it replaces the shadow as the rebuild
+         source: the last durable state IS the last committed state. *)
   shadow : Engine.Database.t;
       (* committed writes only (EDB ops and installed seeds); the
          rebuild source after a blown budget.  Mutated under the write
@@ -99,10 +104,22 @@ let maintained_program session =
   | None -> Incr.Session.program session
 
 let create ?(strategy = Incr.Session.Auto) ?options ?max_facts
-    ?(cache_mode = Partial) program query ~edb =
+    ?(cache_mode = Partial) ?db ?checkpoint_every program query ~edb =
+  let store =
+    match db with
+    | None -> None
+    | Some dir ->
+      if options <> None then
+        invalid_arg "Registry.create: custom rewrite options cannot be persisted";
+      Some
+        (Persist.Store.open_or_create ~strategy ?max_facts ?checkpoint_every ~dir
+           program query ~edb)
+  in
   let shadow = Engine.Database.copy edb in
   let session =
-    Incr.Session.create ~strategy ?options ?max_facts program query ~edb
+    match store with
+    | Some st -> Persist.Store.session st
+    | None -> Incr.Session.create ~strategy ?options ?max_facts program query ~edb
   in
   (* the initial query's seeds are committed state: a rebuild of the
      shadow must reproduce them (Session.create re-adds its own seeds,
@@ -117,6 +134,7 @@ let create ?(strategy = Incr.Session.Auto) ?options ?max_facts
   {
     lock = Rwlock.create ();
     session;
+    store;
     shadow;
     snapshot = Engine.Snapshot.capture ~epoch (Incr.Session.db session);
     epoch;
@@ -347,15 +365,21 @@ let count_error t resp =
 
 let rebuild t =
   (* under the write lock, after a blown budget left the maintained
-     state unspecified: recreate it from the shadow's committed writes
-     (unbounded — the shadow's fixpoint was live a moment ago, so it is
-     known to be affordable) and republish.  The epoch does not advance:
-     the logical state is exactly the last committed one, so surviving
-     cache entries stay valid. *)
-  let edb = Engine.Database.copy t.shadow in
-  t.session <-
-    Incr.Session.create ~strategy:t.strategy ~options:t.options t.program
-      t.query0 ~edb;
+     state unspecified: recreate the last committed state and republish.
+     With a persistent store that state is on disk (journal-after-apply
+     means a failed transaction wrote no record), so recovery is a
+     snapshot load + WAL replay; otherwise it is re-evaluated from the
+     shadow's committed writes (unbounded — the shadow's fixpoint was
+     live a moment ago, so it is known to be affordable).  The epoch
+     does not advance: the logical state is exactly the last committed
+     one, so surviving cache entries stay valid. *)
+  (match t.store with
+  | Some st -> t.session <- Persist.Store.recover st
+  | None ->
+    let edb = Engine.Database.copy t.shadow in
+    t.session <-
+      Incr.Session.create ~strategy:t.strategy ~options:t.options t.program
+        t.query0 ~edb);
   t.snapshot <- Engine.Snapshot.capture ~epoch:t.epoch (Incr.Session.db t.session);
   with_c t (fun c -> c.rebuilds <- c.rebuilds + 1)
 
@@ -381,6 +405,9 @@ let transact t ops =
   Rwlock.with_write t.lock (fun () ->
       match Incr.Session.update_delta ?max_facts:t.max_facts t.session ops with
       | stats, summary ->
+        (* journal-after-apply: the transaction succeeded, make it
+           durable (fsync) before acknowledging the commit *)
+        Option.iter (fun st -> Persist.Store.journal_txn st ops) t.store;
         List.iter
           (function
             | Incr.Maintain.Insert a ->
@@ -415,6 +442,9 @@ let install_seeds t q =
   Rwlock.with_write t.lock (fun () ->
       match Incr.Session.query_delta ?max_facts:t.max_facts t.session q with
       | _answers, stats, summary ->
+        (* an install that changed nothing needs no journal record *)
+        if summary <> [] then
+          Option.iter (fun st -> Persist.Store.journal_install st q) t.store;
         (match Incr.Session.rewritten t.session with
         | Some rw ->
           List.iter
@@ -575,6 +605,22 @@ let stats_fields t =
     ("maint_facts", string_of_int c.maint_facts);
     ("maint_firings", string_of_int c.maint_firings);
   ]
+  @
+  match t.store with
+  | None -> [ ("persist_enabled", "false") ]
+  | Some st ->
+    Rwlock.with_read t.lock (fun () ->
+        [
+          ("persist_enabled", "true");
+          ("persist_restored", string_of_bool (Persist.Store.restored st));
+          ("persist_wal_records", string_of_int (Persist.Store.wal_records st));
+          ("persist_checkpoints", string_of_int (Persist.Store.checkpoints st));
+          ("persist_replayed", string_of_int (Persist.Store.replayed st));
+        ])
+
+let close t =
+  Rwlock.with_write t.lock (fun () ->
+      Option.iter Persist.Store.close t.store)
 
 (* test access: simulate the late [cache_store] of a reader that
    computed rows against an older snapshot ([Original]-shaped entries),

@@ -60,12 +60,27 @@ val create :
   ?options:Magic_core.Rewrite.options ->
   ?max_facts:int ->
   ?cache_mode:cache_mode ->
+  ?db:string ->
+  ?checkpoint_every:int ->
   Program.t ->
   Atom.t ->
   edb:Engine.Database.t ->
   t
 (** Warm up a session for the program and initial query (strategy
-    defaults to [Auto]) and publish epoch-0 state. *)
+    defaults to [Auto]) and publish epoch-0 state.
+
+    With [db] the registry is durable: the directory is opened as a
+    {!Persist.Store} — reusing its snapshot and WAL if present ([edb]
+    is then ignored; the disk state wins), creating them otherwise.
+    Every committed transaction and seed install is journaled (fsync)
+    under the write lock before the commit is acknowledged, the
+    snapshot is rewritten every [checkpoint_every] records, and the
+    budget-blowout rebuild recovers from disk instead of re-evaluating
+    the shadow.  Epochs restart at 0 on reopen — they number commits of
+    one serving process, not of the store's lifetime.
+    @raise Persist.Codec.Corrupt if the store refuses to load.
+    @raise Invalid_argument if [db] is combined with custom [options]
+    (options shape the rewrite and are not persisted). *)
 
 val query : t -> Atom.t -> Protocol.response
 (** Serve a read query from the published snapshot (installing its
@@ -85,6 +100,11 @@ val stats_fields : t -> (string * string) list
 
 val epoch : t -> int
 (** The currently published epoch (0 right after {!create}). *)
+
+val close : t -> unit
+(** Flush the persistent store, if any: final checkpoint, then release
+    its file handles.  A no-op for in-memory registries.  Call after the
+    daemon's accept loop has exited. *)
 
 val session_strategy : t -> Incr.Session.strategy
 

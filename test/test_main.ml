@@ -33,5 +33,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("cost", Test_cost.suite);
       ("incr", Test_incr.suite);
+      ("persist", Test_persist.suite);
       ("server", Test_server.suite);
     ]

@@ -361,6 +361,92 @@ let test_daemon_socket_roundtrip () =
   Domain.join daemon
 
 (* ------------------------------------------------------------------ *)
+(* daemon restart over a durable store                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_daemon r f =
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let port = ref None in
+  let on_ready = function
+    | Unix.ADDR_INET (_, p) ->
+      Mutex.lock m;
+      port := Some p;
+      Condition.signal cv;
+      Mutex.unlock m
+    | _ -> ()
+  in
+  let daemon =
+    Domain.spawn (fun () -> Server.Daemon.run ~jobs:2 ~on_ready (Server.Daemon.Tcp 0) r)
+  in
+  Mutex.lock m;
+  while !port = None do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  let c = Server.Client.tcp (Option.get !port) in
+  let out = f c in
+  (match Server.Client.request c P.Shutdown with
+  | P.Shutdown_ack -> ()
+  | _ -> Alcotest.fail "shutdown over the socket");
+  Server.Client.close c;
+  Domain.join daemon;
+  Server.Registry.close r;
+  out
+
+let test_daemon_restart_durable () =
+  let p = program tc_src in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "magic-test-serve-db-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      (* first lifetime: serve, commit a transaction, shut down cleanly *)
+      let r1 =
+        Server.Registry.create ~strategy:Incr.Session.GMS ~db:dir p
+          (path_q (n 0)) ~edb:(chain_edb 3 [])
+      in
+      with_daemon r1 (fun c ->
+          (match Server.Client.request c (P.Txn [ M.Insert (edge (n 3) (n 4)) ]) with
+          | P.Committed { epoch = 1; _ } -> ()
+          | _ -> Alcotest.fail "txn in the first lifetime");
+          match Server.Client.request c (P.Query (path_q (n 0))) with
+          | P.Answers { answers; _ } ->
+            Alcotest.(check int) "first-lifetime count" 4 (List.length answers)
+          | _ -> Alcotest.fail "query in the first lifetime");
+      (* second lifetime on the same directory: the edb argument is
+         ignored — disk wins — and epochs restart at 0 *)
+      let r2 =
+        Server.Registry.create ~strategy:Incr.Session.GMS ~db:dir p
+          (path_q (n 0)) ~edb:(Engine.Database.of_facts [])
+      in
+      Alcotest.(check int) "epoch restarts at 0" 0 (Server.Registry.epoch r2);
+      Alcotest.(check (option string)) "restored from disk" (Some "true")
+        (List.assoc_opt "persist_restored" (Server.Registry.stats_fields r2));
+      with_daemon r2 (fun c ->
+          (match Server.Client.request c (P.Query (path_q (n 0))) with
+          | P.Answers { epoch = 0; answers; _ } ->
+            Alcotest.check rows "state carried across restart"
+              [ [ "n0"; "n1" ]; [ "n0"; "n2" ]; [ "n0"; "n3" ]; [ "n0"; "n4" ] ]
+              answers
+          | _ -> Alcotest.fail "re-query after restart");
+          (* the restarted daemon keeps committing from a fresh epoch 0 *)
+          match Server.Client.request c (P.Txn [ M.Delete (edge (n 3) (n 4)) ]) with
+          | P.Committed { epoch = 1; _ } -> ()
+          | _ -> Alcotest.fail "txn in the second lifetime"))
+
+(* ------------------------------------------------------------------ *)
 (* property: serve-loop reads equal from-scratch evaluation            *)
 (* ------------------------------------------------------------------ *)
 
@@ -498,6 +584,8 @@ let suite =
       test_registry_budget_recovery;
     Alcotest.test_case "daemon: socket roundtrip" `Quick
       test_daemon_socket_roundtrip;
+    Alcotest.test_case "daemon: restart over a durable store" `Quick
+      test_daemon_restart_durable;
     prop_serve_consistency;
     prop_partial_equals_full;
   ]
